@@ -1,0 +1,429 @@
+//! AIGER format I/O (ASCII `aag` and binary `aig`, format version 1.9
+//! combinational subset: no latches).
+//!
+//! This lets real benchmark circuits be dropped into the experiment
+//! harness alongside the synthetic generators.
+
+use crate::{Aig, Lit};
+use std::fmt;
+use std::io::{self, BufRead, Read, Write};
+
+/// Error produced while reading an AIGER file.
+#[derive(Debug)]
+pub enum ParseAigerError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The file violates the AIGER format; the message says how.
+    Format(String),
+}
+
+impl fmt::Display for ParseAigerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseAigerError::Io(e) => write!(f, "i/o error reading aiger: {e}"),
+            ParseAigerError::Format(m) => write!(f, "invalid aiger file: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseAigerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ParseAigerError::Io(e) => Some(e),
+            ParseAigerError::Format(_) => None,
+        }
+    }
+}
+
+impl From<io::Error> for ParseAigerError {
+    fn from(e: io::Error) -> Self {
+        ParseAigerError::Io(e)
+    }
+}
+
+fn format_err<T>(msg: impl Into<String>) -> Result<T, ParseAigerError> {
+    Err(ParseAigerError::Format(msg.into()))
+}
+
+/// Writes `aig` in ASCII AIGER (`aag`) format.
+///
+/// Latch count is always zero (this crate is combinational only).
+///
+/// # Errors
+///
+/// Propagates I/O errors from `w`.
+pub fn write_ascii<W: Write>(aig: &Aig, mut w: W) -> io::Result<()> {
+    let m = aig.len() - 1;
+    let i = aig.num_inputs();
+    let o = aig.num_outputs();
+    let a = aig.num_ands();
+    writeln!(w, "aag {m} {i} 0 {o} {a}")?;
+    for input in aig.inputs() {
+        writeln!(w, "{}", input.pos().raw())?;
+    }
+    for out in aig.outputs() {
+        writeln!(w, "{}", out.raw())?;
+    }
+    for (id, fa, fb) in aig.iter_ands() {
+        writeln!(w, "{} {} {}", id.pos().raw(), fa.raw(), fb.raw())?;
+    }
+    Ok(())
+}
+
+/// Writes `aig` in binary AIGER (`aig`) format.
+///
+/// Binary AIGER requires inputs to occupy node indices `1..=I` and ANDs
+/// `I+1..=M`, which this crate's construction discipline may not satisfy
+/// (inputs can be interleaved with gates); the writer therefore renumbers
+/// nodes internally. Reading the result back yields a functionally
+/// identical, possibly renumbered, graph.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `w`.
+pub fn write_binary<W: Write>(aig: &Aig, mut w: W) -> io::Result<()> {
+    // Renumber: inputs first, then ANDs in topological order.
+    let mut map = vec![Lit::FALSE; aig.len()];
+    let mut next = 1u32;
+    for &inp in aig.inputs() {
+        map[inp.as_usize()] = Lit::from_raw(next * 2);
+        next += 1;
+    }
+    for (id, ..) in aig.iter_ands() {
+        map[id.as_usize()] = Lit::from_raw(next * 2);
+        next += 1;
+    }
+    let tr = |l: Lit| map[l.node().as_usize()].xor_complement(l.is_complemented());
+
+    let m = aig.len() - 1;
+    let i = aig.num_inputs();
+    let o = aig.num_outputs();
+    let a = aig.num_ands();
+    writeln!(w, "aig {m} {i} 0 {o} {a}")?;
+    for out in aig.outputs() {
+        writeln!(w, "{}", tr(*out).raw())?;
+    }
+    for (id, fa, fb) in aig.iter_ands() {
+        let lhs = tr(id.pos()).raw();
+        let (r0, r1) = (tr(fa).raw(), tr(fb).raw());
+        let (hi, lo) = if r0 >= r1 { (r0, r1) } else { (r1, r0) };
+        debug_assert!(lhs > hi, "binary aiger ordering violated");
+        write_delta(&mut w, lhs - hi)?;
+        write_delta(&mut w, hi - lo)?;
+    }
+    Ok(())
+}
+
+fn write_delta<W: Write>(w: &mut W, mut delta: u32) -> io::Result<()> {
+    loop {
+        let byte = (delta & 0x7f) as u8;
+        delta >>= 7;
+        if delta == 0 {
+            return w.write_all(&[byte]);
+        }
+        w.write_all(&[byte | 0x80])?;
+    }
+}
+
+fn read_delta<R: Read>(r: &mut R) -> Result<u32, ParseAigerError> {
+    let mut result: u64 = 0;
+    let mut shift = 0;
+    loop {
+        let mut byte = [0u8; 1];
+        r.read_exact(&mut byte)?;
+        result |= ((byte[0] & 0x7f) as u64) << shift;
+        if byte[0] & 0x80 == 0 {
+            if result > u32::MAX as u64 {
+                return format_err("delta overflows u32");
+            }
+            return Ok(result as u32);
+        }
+        shift += 7;
+        if shift > 35 {
+            return format_err("delta encoding too long");
+        }
+    }
+}
+
+/// Reads an AIGER file in either ASCII or binary format.
+///
+/// Only the combinational subset is supported: a nonzero latch count is
+/// rejected. Symbol and comment sections are ignored.
+///
+/// # Errors
+///
+/// Returns [`ParseAigerError`] on malformed input or I/O failure.
+pub fn read<R: BufRead>(mut r: R) -> Result<Aig, ParseAigerError> {
+    let mut header = String::new();
+    r.read_line(&mut header)?;
+    let fields: Vec<&str> = header.split_whitespace().collect();
+    if fields.len() < 6 {
+        return format_err("header must be `aag|aig M I L O A`");
+    }
+    let binary = match fields[0] {
+        "aag" => false,
+        "aig" => true,
+        other => return format_err(format!("unknown magic `{other}`")),
+    };
+    let nums: Vec<u32> = fields[1..6]
+        .iter()
+        .map(|s| s.parse::<u32>())
+        .collect::<Result<_, _>>()
+        .map_err(|e| ParseAigerError::Format(format!("bad header number: {e}")))?;
+    let (m, i, l, o, a) = (nums[0], nums[1], nums[2], nums[3], nums[4]);
+    if l != 0 {
+        return format_err("latches are not supported (combinational subset only)");
+    }
+    if m != i + a {
+        return format_err(format!("header inconsistent: M={m} != I+A={}", i + a));
+    }
+
+    if binary {
+        read_binary_body(r, i, o, a)
+    } else {
+        read_ascii_body(r, m, i, o, a)
+    }
+}
+
+fn read_ascii_body<R: BufRead>(
+    mut r: R,
+    m: u32,
+    i: u32,
+    o: u32,
+    a: u32,
+) -> Result<Aig, ParseAigerError> {
+    let mut line = String::new();
+    let mut next_line = |r: &mut R, what: &str| -> Result<Vec<u32>, ParseAigerError> {
+        line.clear();
+        if r.read_line(&mut line)? == 0 {
+            return format_err(format!("unexpected end of file reading {what}"));
+        }
+        line.split_whitespace()
+            .map(|t| {
+                t.parse::<u32>()
+                    .map_err(|e| ParseAigerError::Format(format!("bad {what} literal: {e}")))
+            })
+            .collect()
+    };
+
+    let mut input_lits = Vec::with_capacity(i as usize);
+    for k in 0..i {
+        let v = next_line(&mut r, "input")?;
+        if v.len() != 1 {
+            return format_err(format!("input line {k} must have one literal"));
+        }
+        if v[0] % 2 != 0 || v[0] == 0 {
+            return format_err(format!("input literal {} invalid", v[0]));
+        }
+        input_lits.push(v[0]);
+    }
+    let mut output_lits = Vec::with_capacity(o as usize);
+    for k in 0..o {
+        let v = next_line(&mut r, "output")?;
+        if v.len() != 1 {
+            return format_err(format!("output line {k} must have one literal"));
+        }
+        output_lits.push(v[0]);
+    }
+    let mut and_defs = Vec::with_capacity(a as usize);
+    for k in 0..a {
+        let v = next_line(&mut r, "and")?;
+        if v.len() != 3 {
+            return format_err(format!("and line {k} must have three literals"));
+        }
+        if v[0] % 2 != 0 {
+            return format_err(format!("and lhs {} must be even", v[0]));
+        }
+        and_defs.push((v[0], v[1], v[2]));
+    }
+
+    build_graph(m, &input_lits, &output_lits, &and_defs)
+}
+
+fn read_binary_body<R: BufRead>(mut r: R, i: u32, o: u32, a: u32) -> Result<Aig, ParseAigerError> {
+    // Binary format: inputs are implicitly 2,4,..,2I.
+    let input_lits: Vec<u32> = (1..=i).map(|v| v * 2).collect();
+    let mut output_lits = Vec::with_capacity(o as usize);
+    let mut line = String::new();
+    for k in 0..o {
+        line.clear();
+        if r.read_line(&mut line)? == 0 {
+            return format_err(format!("unexpected end of file reading output {k}"));
+        }
+        let lit = line
+            .trim()
+            .parse::<u32>()
+            .map_err(|e| ParseAigerError::Format(format!("bad output literal: {e}")))?;
+        output_lits.push(lit);
+    }
+    let mut and_defs = Vec::with_capacity(a as usize);
+    for k in 0..a {
+        let lhs = (i + 1 + k) * 2;
+        let d0 = read_delta(&mut r)?;
+        let d1 = read_delta(&mut r)?;
+        let rhs0 = lhs
+            .checked_sub(d0)
+            .ok_or_else(|| ParseAigerError::Format(format!("and {k}: delta0 too large")))?;
+        let rhs1 = rhs0
+            .checked_sub(d1)
+            .ok_or_else(|| ParseAigerError::Format(format!("and {k}: delta1 too large")))?;
+        and_defs.push((lhs, rhs0, rhs1));
+    }
+    build_graph(i + a, &input_lits, &output_lits, &and_defs)
+}
+
+fn build_graph(
+    m: u32,
+    input_lits: &[u32],
+    output_lits: &[u32],
+    and_defs: &[(u32, u32, u32)],
+) -> Result<Aig, ParseAigerError> {
+    // map[aiger var] = our literal
+    let mut map: Vec<Option<Lit>> = vec![None; m as usize + 1];
+    map[0] = Some(Lit::FALSE);
+    let mut g = Aig::with_capacity(m as usize);
+    for &il in input_lits {
+        let var = il / 2;
+        if var as usize > m as usize {
+            return format_err(format!("input variable {var} exceeds maximum {m}"));
+        }
+        if map[var as usize].is_some() {
+            return format_err(format!("variable {var} defined twice"));
+        }
+        map[var as usize] = Some(g.add_input());
+    }
+    // AND definitions may appear in any order in ASCII files; process
+    // iteratively until a fixpoint (files are usually already sorted, so
+    // this is one pass in practice).
+    let mut remaining: Vec<(u32, u32, u32)> = and_defs.to_vec();
+    while !remaining.is_empty() {
+        let before = remaining.len();
+        remaining.retain(|&(lhs, r0, r1)| {
+            let var = lhs / 2;
+            let l0 = map.get(r0 as usize / 2).copied().flatten();
+            let l1 = map.get(r1 as usize / 2).copied().flatten();
+            match (l0, l1) {
+                (Some(l0), Some(l1)) => {
+                    let la = l0.xor_complement(r0 % 2 == 1);
+                    let lb = l1.xor_complement(r1 % 2 == 1);
+                    map[var as usize] = Some(g.and(la, lb));
+                    false
+                }
+                _ => true,
+            }
+        });
+        if remaining.len() == before {
+            return format_err("cyclic or dangling and definitions");
+        }
+    }
+    let mut out = Aig::new();
+    std::mem::swap(&mut out, &mut g);
+    for &ol in output_lits {
+        let var = (ol / 2) as usize;
+        let base = map
+            .get(var)
+            .copied()
+            .flatten()
+            .ok_or_else(|| ParseAigerError::Format(format!("output references undefined {var}")))?;
+        out.add_output(base.xor_complement(ol % 2 == 1));
+    }
+    out.check().map_err(ParseAigerError::Format)?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::exhaustive_diff;
+
+    fn sample() -> Aig {
+        let mut g = Aig::new();
+        let x = g.add_input();
+        let y = g.add_input();
+        let z = g.add_input();
+        let t = g.xor(x, y);
+        let u = g.mux(z, t, x);
+        g.add_output(u);
+        g.add_output(!t);
+        g
+    }
+
+    #[test]
+    fn ascii_round_trip() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_ascii(&g, &mut buf).unwrap();
+        let g2 = read(&buf[..]).unwrap();
+        assert_eq!(g2.num_inputs(), g.num_inputs());
+        assert_eq!(g2.num_outputs(), g.num_outputs());
+        assert_eq!(exhaustive_diff(&g, &g2, 8), None);
+    }
+
+    #[test]
+    fn binary_round_trip() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        let g2 = read(&buf[..]).unwrap();
+        assert_eq!(g2.num_inputs(), g.num_inputs());
+        assert_eq!(exhaustive_diff(&g, &g2, 8), None);
+    }
+
+    #[test]
+    fn constant_outputs_round_trip() {
+        let mut g = Aig::new();
+        let _ = g.add_input();
+        g.add_output(Lit::TRUE);
+        g.add_output(Lit::FALSE);
+        let mut buf = Vec::new();
+        write_ascii(&g, &mut buf).unwrap();
+        let g2 = read(&buf[..]).unwrap();
+        assert_eq!(g2.evaluate(&[false]), vec![true, false]);
+        let mut bin = Vec::new();
+        write_binary(&g, &mut bin).unwrap();
+        let g3 = read(&bin[..]).unwrap();
+        assert_eq!(g3.evaluate(&[true]), vec![true, false]);
+    }
+
+    #[test]
+    fn rejects_latches() {
+        let text = "aag 1 0 1 0 0\n2 3\n";
+        match read(text.as_bytes()) {
+            Err(ParseAigerError::Format(m)) => assert!(m.contains("latches")),
+            other => panic!("expected format error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        assert!(read("xxx 0 0 0 0 0\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_inconsistent_header() {
+        assert!(read("aag 5 2 0 1 2\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_dangling_and() {
+        // AND referencing variable 9 which is never defined.
+        let text = "aag 3 1 0 1 2\n2\n4\n4 18 2\n6 4 2\n";
+        assert!(read(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn parses_unsorted_ascii_ands() {
+        // Node 6 defined before node 4, which it depends on.
+        let text = "aag 3 2 0 1 1\n2\n4\n6\n6 2 4\n";
+        let g = read(text.as_bytes()).unwrap();
+        assert_eq!(g.num_ands(), 1);
+        assert_eq!(g.evaluate(&[true, true]), vec![true]);
+        assert_eq!(g.evaluate(&[true, false]), vec![false]);
+    }
+
+    #[test]
+    fn error_display_mentions_cause() {
+        let e = ParseAigerError::Format("boom".into());
+        assert!(format!("{e}").contains("boom"));
+    }
+}

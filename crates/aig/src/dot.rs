@@ -1,0 +1,115 @@
+//! Graphviz DOT export for AIGs.
+//!
+//! Complemented edges are drawn dashed with a dot arrowhead — the usual
+//! AIG drawing convention — so small graphs can be inspected with
+//! `dot -Tpdf`.
+
+use crate::{Aig, Node};
+use std::io::{self, Write};
+
+/// Writes `aig` as a Graphviz digraph.
+///
+/// Inputs are boxes, AND gates circles, outputs inverted houses;
+/// complemented edges are dashed.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `w`.
+///
+/// # Example
+///
+/// ```
+/// use aig::{dot, Aig};
+///
+/// # fn main() -> std::io::Result<()> {
+/// let mut g = Aig::new();
+/// let x = g.add_input();
+/// let y = g.add_input();
+/// let n = g.and(x, !y);
+/// g.add_output(n);
+/// let mut out = Vec::new();
+/// dot::write_dot(&g, &mut out)?;
+/// let text = String::from_utf8(out).unwrap();
+/// assert!(text.starts_with("digraph aig {"));
+/// assert!(text.contains("style=dashed"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn write_dot<W: Write>(aig: &Aig, mut w: W) -> io::Result<()> {
+    writeln!(w, "digraph aig {{")?;
+    writeln!(w, "  rankdir=BT;")?;
+    for (id, node) in aig.iter() {
+        match *node {
+            Node::Const => {
+                writeln!(w, "  n0 [label=\"0\", shape=box, style=filled];")?;
+            }
+            Node::Input { index } => {
+                writeln!(
+                    w,
+                    "  n{} [label=\"i{index}\", shape=box];",
+                    id.index()
+                )?;
+            }
+            Node::And { a, b } => {
+                writeln!(w, "  n{} [label=\"∧\", shape=circle];", id.index())?;
+                for fanin in [a, b] {
+                    let style = if fanin.is_complemented() {
+                        " [style=dashed, arrowhead=dot]"
+                    } else {
+                        ""
+                    };
+                    writeln!(
+                        w,
+                        "  n{} -> n{}{style};",
+                        fanin.node().index(),
+                        id.index()
+                    )?;
+                }
+            }
+        }
+    }
+    for (k, out) in aig.outputs().iter().enumerate() {
+        writeln!(w, "  o{k} [label=\"o{k}\", shape=invhouse];")?;
+        let style = if out.is_complemented() {
+            " [style=dashed, arrowhead=dot]"
+        } else {
+            ""
+        };
+        writeln!(w, "  n{} -> o{k}{style};", out.node().index())?;
+    }
+    writeln!(w, "}}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_contains_every_node_and_output() {
+        let mut g = Aig::new();
+        let x = g.add_input();
+        let y = g.add_input();
+        let n = g.and(x, y);
+        g.add_output(!n);
+        let mut buf = Vec::new();
+        write_dot(&g, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("n1 [label=\"i0\""));
+        assert!(text.contains("n2 [label=\"i1\""));
+        assert!(text.contains("shape=circle"));
+        assert!(text.contains("o0 [label=\"o0\""));
+        // Output edge is complemented.
+        assert!(text.contains("n3 -> o0 [style=dashed"));
+        assert!(text.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn constant_rendered_when_used() {
+        let mut g = Aig::new();
+        g.add_output(crate::Lit::TRUE);
+        let mut buf = Vec::new();
+        write_dot(&g, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("n0 [label=\"0\""));
+    }
+}

@@ -1,0 +1,332 @@
+//! Adder architectures: ripple-carry, Kogge-Stone, Brent-Kung, carry-select.
+//!
+//! All adders share the same interface: inputs `a[0..w]` then `b[0..w]`
+//! (LSB first), outputs `sum[0..w]` then `carry_out` — so any two of them
+//! at the same width form a valid CEC pair.
+
+use super::full_adder;
+use crate::{Aig, Lit};
+
+/// Ripple-carry adder: the baseline linear-depth architecture.
+///
+/// # Panics
+///
+/// Panics if `width == 0`.
+///
+/// # Example
+///
+/// ```
+/// use aig::gen::ripple_carry_adder;
+/// let g = ripple_carry_adder(4);
+/// assert_eq!(g.num_inputs(), 8);
+/// assert_eq!(g.num_outputs(), 5);
+/// // 3 + 5 = 8 (LSB-first)
+/// let pat = [true, true, false, false, true, false, true, false];
+/// assert_eq!(g.evaluate(&pat), vec![false, false, false, true, false]);
+/// ```
+pub fn ripple_carry_adder(width: usize) -> Aig {
+    assert!(width > 0, "adder width must be positive");
+    let mut g = Aig::new();
+    let a = g.add_inputs(width);
+    let b = g.add_inputs(width);
+    let mut carry = Lit::FALSE;
+    let mut sums = Vec::with_capacity(width);
+    for i in 0..width {
+        let (s, c) = full_adder(&mut g, a[i], b[i], carry);
+        sums.push(s);
+        carry = c;
+    }
+    for s in sums {
+        g.add_output(s);
+    }
+    g.add_output(carry);
+    g
+}
+
+/// Kogge-Stone parallel-prefix adder: logarithmic depth, maximal fanout
+/// sharing. Structurally very different from ripple carry, yet with many
+/// functionally equivalent internal carry signals — the classic
+/// equivalence-rich CEC pair.
+///
+/// # Panics
+///
+/// Panics if `width == 0`.
+pub fn kogge_stone_adder(width: usize) -> Aig {
+    assert!(width > 0, "adder width must be positive");
+    let mut g = Aig::new();
+    let a = g.add_inputs(width);
+    let b = g.add_inputs(width);
+    // Initial generate/propagate.
+    let mut gen: Vec<Lit> = (0..width).map(|i| g.and(a[i], b[i])).collect();
+    let mut prop: Vec<Lit> = (0..width).map(|i| g.xor(a[i], b[i])).collect();
+    let prop0 = prop.clone(); // sum needs the original propagate bits
+                              // Prefix network: (g, p) o (g', p') = (g | p&g', p&p')
+    let mut dist = 1;
+    while dist < width {
+        let mut new_gen = gen.clone();
+        let mut new_prop = prop.clone();
+        for i in dist..width {
+            let pg = g.and(prop[i], gen[i - dist]);
+            new_gen[i] = g.or(gen[i], pg);
+            new_prop[i] = g.and(prop[i], prop[i - dist]);
+        }
+        gen = new_gen;
+        prop = new_prop;
+        dist *= 2;
+    }
+    // carry into position i is gen[i-1] (prefix over bits 0..i).
+    let mut sums = Vec::with_capacity(width);
+    for i in 0..width {
+        let cin = if i == 0 { Lit::FALSE } else { gen[i - 1] };
+        sums.push(g.xor(prop0[i], cin));
+    }
+    for s in sums {
+        g.add_output(s);
+    }
+    g.add_output(gen[width - 1]);
+    g
+}
+
+/// Brent-Kung parallel-prefix adder: logarithmic depth with a sparser
+/// prefix tree than Kogge-Stone.
+///
+/// # Panics
+///
+/// Panics if `width == 0`.
+pub fn brent_kung_adder(width: usize) -> Aig {
+    assert!(width > 0, "adder width must be positive");
+    let mut g = Aig::new();
+    let a = g.add_inputs(width);
+    let b = g.add_inputs(width);
+    let gen0: Vec<Lit> = (0..width).map(|i| g.and(a[i], b[i])).collect();
+    let prop0: Vec<Lit> = (0..width).map(|i| g.xor(a[i], b[i])).collect();
+
+    // prefix[i] = (G, P) over bits 0..=i, computed by the Brent-Kung tree.
+    let mut gp: Vec<(Lit, Lit)> = gen0
+        .iter()
+        .zip(prop0.iter())
+        .map(|(&gn, &p)| (gn, p))
+        .collect();
+
+    let combine = |g: &mut Aig, hi: (Lit, Lit), lo: (Lit, Lit)| -> (Lit, Lit) {
+        let pg = g.and(hi.1, lo.0);
+        (g.or(hi.0, pg), g.and(hi.1, lo.1))
+    };
+
+    // Up-sweep.
+    let mut stride = 1;
+    while stride < width {
+        let mut i = 2 * stride - 1;
+        while i < width {
+            gp[i] = combine(&mut g, gp[i], gp[i - stride]);
+            i += 2 * stride;
+        }
+        stride *= 2;
+    }
+    // Down-sweep.
+    stride /= 2;
+    while stride >= 1 {
+        let mut i = 3 * stride - 1;
+        while i < width {
+            gp[i] = combine(&mut g, gp[i], gp[i - stride]);
+            i += 2 * stride;
+        }
+        if stride == 1 {
+            break;
+        }
+        stride /= 2;
+    }
+
+    let mut sums = Vec::with_capacity(width);
+    for i in 0..width {
+        let cin = if i == 0 { Lit::FALSE } else { gp[i - 1].0 };
+        sums.push(g.xor(prop0[i], cin));
+    }
+    for s in sums {
+        g.add_output(s);
+    }
+    g.add_output(gp[width - 1].0);
+    g
+}
+
+/// Carry-select adder: fixed-size blocks computed for both carry-in values
+/// and selected by the incoming carry.
+///
+/// # Panics
+///
+/// Panics if `width == 0` or `block == 0`.
+pub fn carry_select_adder(width: usize, block: usize) -> Aig {
+    assert!(width > 0, "adder width must be positive");
+    assert!(block > 0, "block size must be positive");
+    let mut g = Aig::new();
+    let a = g.add_inputs(width);
+    let b = g.add_inputs(width);
+    let mut carry = Lit::FALSE;
+    let mut sums = Vec::with_capacity(width);
+    let mut lo = 0;
+    while lo < width {
+        let hi = (lo + block).min(width);
+        // Compute the block twice: with carry-in 0 and carry-in 1.
+        let mut c0 = Lit::FALSE;
+        let mut c1 = Lit::TRUE;
+        let mut s0 = Vec::with_capacity(hi - lo);
+        let mut s1 = Vec::with_capacity(hi - lo);
+        for i in lo..hi {
+            let (s, c) = full_adder(&mut g, a[i], b[i], c0);
+            s0.push(s);
+            c0 = c;
+            let (s, c) = full_adder(&mut g, a[i], b[i], c1);
+            s1.push(s);
+            c1 = c;
+        }
+        for k in 0..(hi - lo) {
+            sums.push(g.mux(carry, s1[k], s0[k]));
+        }
+        carry = g.mux(carry, c1, c0);
+        lo = hi;
+    }
+    for s in sums {
+        g.add_output(s);
+    }
+    g.add_output(carry);
+    g
+}
+
+/// Carry-skip adder: ripple blocks with a block-propagate bypass mux.
+///
+/// # Panics
+///
+/// Panics if `width == 0` or `block == 0`.
+pub fn carry_skip_adder(width: usize, block: usize) -> Aig {
+    assert!(width > 0, "adder width must be positive");
+    assert!(block > 0, "block size must be positive");
+    let mut g = Aig::new();
+    let a = g.add_inputs(width);
+    let b = g.add_inputs(width);
+    let mut carry = Lit::FALSE;
+    let mut sums = Vec::with_capacity(width);
+    let mut lo = 0;
+    while lo < width {
+        let hi = (lo + block).min(width);
+        // Block propagate: all bit propagates (a XOR b) high.
+        let props: Vec<Lit> = (lo..hi).map(|i| g.xor(a[i], b[i])).collect();
+        let block_prop = g.and_all(&props);
+        // Ripple through the block.
+        let mut c = carry;
+        for i in lo..hi {
+            let (s, cn) = full_adder(&mut g, a[i], b[i], c);
+            sums.push(s);
+            c = cn;
+        }
+        // Skip: if the whole block propagates, the carry-out is the
+        // carry-in; otherwise it is the ripple result. (When block_prop
+        // holds, c equals carry anyway — the mux models the physical
+        // bypass and creates the distinct structure we want.)
+        carry = g.mux(block_prop, carry, c);
+        lo = hi;
+    }
+    for s in sums {
+        g.add_output(s);
+    }
+    g.add_output(carry);
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::exhaustive_diff;
+
+    fn check_adder(g: &Aig, width: usize) {
+        assert_eq!(g.num_inputs(), 2 * width);
+        assert_eq!(g.num_outputs(), width + 1);
+        g.check().unwrap();
+        let max = 1u64 << width;
+        // Sample the corners plus a stride through the space.
+        let step = (max / 17).max(1);
+        let mut pairs: Vec<(u64, u64)> = vec![(0, 0), (max - 1, max - 1), (max - 1, 1)];
+        let mut x = 0;
+        while x < max {
+            pairs.push((x, (x * 7 + 3) % max));
+            x += step;
+        }
+        for (av, bv) in pairs {
+            let mut pat = Vec::with_capacity(2 * width);
+            for i in 0..width {
+                pat.push(av >> i & 1 == 1);
+            }
+            for i in 0..width {
+                pat.push(bv >> i & 1 == 1);
+            }
+            let out = g.evaluate(&pat);
+            let expect = av + bv;
+            for (i, bit) in out.iter().enumerate() {
+                assert_eq!(*bit, expect >> i & 1 == 1, "a={av} b={bv} bit {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn ripple_is_correct() {
+        for w in [1, 2, 3, 8] {
+            check_adder(&ripple_carry_adder(w), w);
+        }
+    }
+
+    #[test]
+    fn kogge_stone_is_correct() {
+        for w in [1, 2, 3, 5, 8] {
+            check_adder(&kogge_stone_adder(w), w);
+        }
+    }
+
+    #[test]
+    fn brent_kung_is_correct() {
+        for w in [1, 2, 3, 5, 8] {
+            check_adder(&brent_kung_adder(w), w);
+        }
+    }
+
+    #[test]
+    fn carry_select_is_correct() {
+        for (w, blk) in [(1, 1), (4, 2), (8, 3), (8, 4)] {
+            check_adder(&carry_select_adder(w, blk), w);
+        }
+    }
+
+    #[test]
+    fn carry_skip_is_correct() {
+        for (w, blk) in [(1, 1), (4, 2), (8, 3), (8, 4)] {
+            check_adder(&carry_skip_adder(w, blk), w);
+        }
+    }
+
+    #[test]
+    fn architectures_agree_exhaustively() {
+        let w = 4;
+        let r = ripple_carry_adder(w);
+        for other in [
+            kogge_stone_adder(w),
+            brent_kung_adder(w),
+            carry_select_adder(w, 2),
+            carry_skip_adder(w, 2),
+        ] {
+            assert_eq!(exhaustive_diff(&r, &other, 8), None);
+        }
+    }
+
+    #[test]
+    fn architectures_are_structurally_different() {
+        let w = 8;
+        let r = ripple_carry_adder(w);
+        let k = kogge_stone_adder(w);
+        assert_ne!(r.num_ands(), k.num_ands());
+        assert!(k.depth() < r.depth());
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be positive")]
+    fn zero_width_rejected() {
+        ripple_carry_adder(0);
+    }
+}

@@ -1,0 +1,297 @@
+//! Encoders, decoders, and population counters.
+
+use super::{full_adder, half_adder};
+use crate::{Aig, Lit};
+
+/// Priority encoder, chain style: scans from the MSB down, carrying a
+/// "found" flag.
+///
+/// Inputs: `x[0..w]` (LSB first). Outputs: `index[0..ceil(log2 w)]`
+/// (index of the highest set bit, LSB first) then `valid` (any bit set).
+/// The index is zero when no bit is set.
+///
+/// # Panics
+///
+/// Panics if `width == 0`.
+pub fn priority_encoder_chain(width: usize) -> Aig {
+    assert!(width > 0, "encoder width must be positive");
+    let bits = index_bits(width);
+    let mut g = Aig::new();
+    let xs = g.add_inputs(width);
+    let mut found = Lit::FALSE;
+    let mut index = vec![Lit::FALSE; bits];
+    for i in (0..width).rev() {
+        // If nothing higher was found and x[i] is set, the index is i.
+        let take = g.and(!found, xs[i]);
+        for (b, idx) in index.iter_mut().enumerate() {
+            if i >> b & 1 == 1 {
+                *idx = g.or(*idx, take);
+            }
+        }
+        found = g.or(found, xs[i]);
+    }
+    for idx in index {
+        g.add_output(idx);
+    }
+    g.add_output(found);
+    g
+}
+
+/// Priority encoder, one-hot style: computes the "is the highest set
+/// bit" indicator for every position independently, then ORs indicators
+/// into the index bits. Same interface as [`priority_encoder_chain`].
+///
+/// # Panics
+///
+/// Panics if `width == 0`.
+pub fn priority_encoder_onehot(width: usize) -> Aig {
+    assert!(width > 0, "encoder width must be positive");
+    let bits = index_bits(width);
+    let mut g = Aig::new();
+    let xs = g.add_inputs(width);
+    // hot[i] = x[i] & !x[i+1] & … & !x[w-1]
+    let mut hot = Vec::with_capacity(width);
+    for i in 0..width {
+        let mut terms = vec![xs[i]];
+        terms.extend(xs[i + 1..].iter().map(|&h| !h));
+        hot.push(g.and_all(&terms));
+    }
+    for b in 0..bits {
+        let terms: Vec<Lit> = (0..width)
+            .filter(|i| i >> b & 1 == 1)
+            .map(|i| hot[i])
+            .collect();
+        let bit = g.or_all(&terms);
+        g.add_output(bit);
+    }
+    let valid = g.or_all(&xs);
+    g.add_output(valid);
+    g
+}
+
+/// One-hot decoder, flat style: each of the `2^n` outputs is the AND of
+/// the `n` (possibly complemented) select bits.
+///
+/// Inputs: `sel[0..n]` (LSB first). Outputs: `out[0..2^n]`, exactly one
+/// high.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `n > 8`.
+pub fn decoder_flat(n: usize) -> Aig {
+    assert!(n > 0 && n <= 8, "decoder select width must be in 1..=8");
+    let mut g = Aig::new();
+    let sel = g.add_inputs(n);
+    for k in 0..(1usize << n) {
+        let terms: Vec<Lit> = sel
+            .iter()
+            .enumerate()
+            .map(|(b, &s)| s.xor_complement(k >> b & 1 == 0))
+            .collect();
+        let out = g.and_all(&terms);
+        g.add_output(out);
+    }
+    g
+}
+
+/// One-hot decoder, split style: recursively decodes the low and high
+/// halves of the select word and ANDs the partial one-hots. Same
+/// interface as [`decoder_flat`].
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `n > 8`.
+pub fn decoder_split(n: usize) -> Aig {
+    assert!(n > 0 && n <= 8, "decoder select width must be in 1..=8");
+    let mut g = Aig::new();
+    let sel = g.add_inputs(n);
+    let outs = split_decode(&mut g, &sel);
+    for o in outs {
+        g.add_output(o);
+    }
+    g
+}
+
+fn split_decode(g: &mut Aig, sel: &[Lit]) -> Vec<Lit> {
+    match sel.len() {
+        0 => vec![Lit::TRUE],
+        1 => vec![!sel[0], sel[0]],
+        _ => {
+            let mid = sel.len() / 2;
+            let lo = split_decode(g, &sel[..mid]);
+            let hi = split_decode(g, &sel[mid..]);
+            let mut outs = Vec::with_capacity(lo.len() * hi.len());
+            for &h in &hi {
+                for &l in &lo {
+                    outs.push(g.and(l, h));
+                }
+            }
+            outs
+        }
+    }
+}
+
+/// Population count, serial style: a chain of incrementers.
+///
+/// Inputs: `x[0..w]`. Outputs: the count, `ceil(log2(w+1))` bits, LSB
+/// first.
+///
+/// # Panics
+///
+/// Panics if `width == 0`.
+pub fn popcount_serial(width: usize) -> Aig {
+    assert!(width > 0, "popcount width must be positive");
+    let bits = count_bits(width);
+    let mut g = Aig::new();
+    let xs = g.add_inputs(width);
+    let mut count = vec![Lit::FALSE; bits];
+    for &x in &xs {
+        // count += x, ripple increment.
+        let mut carry = x;
+        for c in count.iter_mut() {
+            let (s, co) = half_adder(&mut g, *c, carry);
+            *c = s;
+            carry = co;
+        }
+    }
+    for c in count {
+        g.add_output(c);
+    }
+    g
+}
+
+/// Population count, CSA-tree style: 3:2 compression of the input bits
+/// column by column, then a final ripple add. Same interface as
+/// [`popcount_serial`].
+///
+/// # Panics
+///
+/// Panics if `width == 0`.
+pub fn popcount_csa(width: usize) -> Aig {
+    assert!(width > 0, "popcount width must be positive");
+    let bits = count_bits(width);
+    let mut g = Aig::new();
+    let xs = g.add_inputs(width);
+    let mut columns: Vec<Vec<Lit>> = vec![Vec::new(); bits + 1];
+    columns[0] = xs;
+    for col in 0..columns.len() {
+        while columns[col].len() > 2 {
+            let x = columns[col].pop().expect("len > 2");
+            let y = columns[col].pop().expect("len > 2");
+            let z = columns[col].pop().expect("len > 2");
+            let (s, c) = full_adder(&mut g, x, y, z);
+            columns[col].push(s);
+            if col + 1 < columns.len() {
+                columns[col + 1].push(c);
+            }
+        }
+    }
+    // Final carry-propagate over the ≤2-bit columns.
+    let mut carry = Lit::FALSE;
+    let mut out = Vec::with_capacity(bits);
+    for col in columns.iter().take(bits) {
+        let (x, y) = match col.len() {
+            0 => (Lit::FALSE, Lit::FALSE),
+            1 => (col[0], Lit::FALSE),
+            _ => (col[0], col[1]),
+        };
+        let (s, c) = full_adder(&mut g, x, y, carry);
+        out.push(s);
+        carry = c;
+    }
+    for o in out {
+        g.add_output(o);
+    }
+    g
+}
+
+fn index_bits(width: usize) -> usize {
+    (usize::BITS - (width - 1).max(1).leading_zeros()) as usize
+}
+
+fn count_bits(width: usize) -> usize {
+    (usize::BITS - width.leading_zeros()) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::exhaustive_diff;
+
+    fn value(out: &[bool]) -> u64 {
+        out.iter().enumerate().map(|(i, &b)| (b as u64) << i).sum()
+    }
+
+    #[test]
+    fn priority_encoder_semantics() {
+        for w in [1usize, 3, 5, 8] {
+            let g = priority_encoder_chain(w);
+            for bits in 0..(1u64 << w) {
+                let pat: Vec<bool> = (0..w).map(|i| bits >> i & 1 == 1).collect();
+                let out = g.evaluate(&pat);
+                let valid = out[out.len() - 1];
+                assert_eq!(valid, bits != 0, "w={w} bits={bits:b}");
+                if bits != 0 {
+                    let expect = 63 - bits.leading_zeros() as u64;
+                    assert_eq!(value(&out[..out.len() - 1]), expect, "w={w} bits={bits:b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn priority_encoders_agree() {
+        for w in [1usize, 4, 7] {
+            assert_eq!(
+                exhaustive_diff(&priority_encoder_chain(w), &priority_encoder_onehot(w), 8),
+                None,
+                "w={w}"
+            );
+        }
+    }
+
+    #[test]
+    fn decoder_semantics() {
+        let g = decoder_flat(3);
+        for k in 0..8u64 {
+            let pat: Vec<bool> = (0..3).map(|i| k >> i & 1 == 1).collect();
+            let out = g.evaluate(&pat);
+            for (j, &bit) in out.iter().enumerate() {
+                assert_eq!(bit, j as u64 == k);
+            }
+        }
+    }
+
+    #[test]
+    fn decoders_agree() {
+        for n in [1usize, 2, 4, 5] {
+            assert_eq!(
+                exhaustive_diff(&decoder_flat(n), &decoder_split(n), 8),
+                None,
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn popcount_semantics() {
+        for w in [1usize, 3, 6] {
+            let g = popcount_serial(w);
+            for bits in 0..(1u64 << w) {
+                let pat: Vec<bool> = (0..w).map(|i| bits >> i & 1 == 1).collect();
+                assert_eq!(value(&g.evaluate(&pat)), bits.count_ones() as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn popcounts_agree() {
+        for w in [1usize, 4, 7, 9] {
+            assert_eq!(
+                exhaustive_diff(&popcount_serial(w), &popcount_csa(w), 10),
+                None,
+                "w={w}"
+            );
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! Comparators, parity networks, and majority voters.
+
+use super::full_adder;
+use crate::{Aig, Lit};
+
+/// Unsigned magnitude comparator, ripple style: scans from MSB to LSB.
+///
+/// Inputs: `a[0..w]`, `b[0..w]` (LSB first). Outputs: `a_lt_b`, `a_eq_b`.
+///
+/// # Panics
+///
+/// Panics if `width == 0`.
+pub fn comparator_ripple(width: usize) -> Aig {
+    assert!(width > 0, "comparator width must be positive");
+    let mut g = Aig::new();
+    let a = g.add_inputs(width);
+    let b = g.add_inputs(width);
+    let mut lt = Lit::FALSE;
+    let mut eq = Lit::TRUE;
+    for i in (0..width).rev() {
+        let bit_eq = g.xnor(a[i], b[i]);
+        let bit_lt = g.and(!a[i], b[i]);
+        let new_lt_term = g.and(eq, bit_lt);
+        lt = g.or(lt, new_lt_term);
+        eq = g.and(eq, bit_eq);
+    }
+    g.add_output(lt);
+    g.add_output(eq);
+    g
+}
+
+/// Unsigned magnitude comparator via subtraction: computes `a - b` with a
+/// ripple borrow chain; `a < b` iff the final borrow is set, `a == b` iff
+/// the difference is zero. Same interface as [`comparator_ripple`].
+///
+/// # Panics
+///
+/// Panics if `width == 0`.
+pub fn comparator_subtract(width: usize) -> Aig {
+    assert!(width > 0, "comparator width must be positive");
+    let mut g = Aig::new();
+    let a = g.add_inputs(width);
+    let b = g.add_inputs(width);
+    // a - b = a + !b + 1; borrow = !carry_out.
+    let mut carry = Lit::TRUE;
+    let mut diff = Vec::with_capacity(width);
+    for i in 0..width {
+        let (s, c) = full_adder(&mut g, a[i], !b[i], carry);
+        diff.push(s);
+        carry = c;
+    }
+    let lt = !carry;
+    let inv: Vec<Lit> = diff.iter().map(|&d| !d).collect();
+    let eq = g.and_all(&inv);
+    g.add_output(lt);
+    g.add_output(eq);
+    g
+}
+
+/// Parity (XOR reduction) as a linear chain.
+///
+/// Inputs: `x[0..w]`; one output.
+///
+/// # Panics
+///
+/// Panics if `width == 0`.
+pub fn parity_chain(width: usize) -> Aig {
+    assert!(width > 0, "parity width must be positive");
+    let mut g = Aig::new();
+    let xs = g.add_inputs(width);
+    let mut acc = xs[0];
+    for &x in &xs[1..] {
+        acc = g.xor(acc, x);
+    }
+    g.add_output(acc);
+    g
+}
+
+/// Parity (XOR reduction) as a balanced tree. Same interface as
+/// [`parity_chain`].
+///
+/// # Panics
+///
+/// Panics if `width == 0`.
+pub fn parity_tree(width: usize) -> Aig {
+    assert!(width > 0, "parity width must be positive");
+    let mut g = Aig::new();
+    let xs = g.add_inputs(width);
+    let out = g.xor_all(&xs);
+    g.add_output(out);
+    g
+}
+
+/// Majority-of-n voter built from a population counter and comparator.
+///
+/// Inputs: `x[0..w]`; one output: true iff more than `w/2` inputs are set.
+///
+/// # Panics
+///
+/// Panics if `width == 0`.
+pub fn majority(width: usize) -> Aig {
+    assert!(width > 0, "majority width must be positive");
+    let mut g = Aig::new();
+    let xs = g.add_inputs(width);
+    // Population count via CSA reduction of single-bit values.
+    let mut bits: Vec<Vec<Lit>> = vec![xs.clone()];
+    let mut count: Vec<Lit> = Vec::new();
+    let mut col = 0;
+    while col < bits.len() {
+        while bits[col].len() > 1 {
+            if bits[col].len() >= 3 {
+                let x = bits[col].pop().expect("len>=3");
+                let y = bits[col].pop().expect("len>=3");
+                let z = bits[col].pop().expect("len>=3");
+                let (s, c) = full_adder(&mut g, x, y, z);
+                bits[col].push(s);
+                if bits.len() == col + 1 {
+                    bits.push(Vec::new());
+                }
+                bits[col + 1].push(c);
+            } else {
+                let x = bits[col].pop().expect("len==2");
+                let y = bits[col].pop().expect("len==2");
+                let s = g.xor(x, y);
+                let c = g.and(x, y);
+                bits[col].push(s);
+                if bits.len() == col + 1 {
+                    bits.push(Vec::new());
+                }
+                bits[col + 1].push(c);
+            }
+        }
+        count.push(bits[col].first().copied().unwrap_or(Lit::FALSE));
+        col += 1;
+    }
+    // count > width/2  <=>  count >= floor(w/2)+1
+    let threshold = (width / 2 + 1) as u64;
+    let out = ge_const(&mut g, &count, threshold);
+    g.add_output(out);
+    g
+}
+
+/// `value >= k` for an unsigned bit-vector (LSB first).
+fn ge_const(g: &mut Aig, value: &[Lit], k: u64) -> Lit {
+    // Compare from MSB down.
+    let mut ge = Lit::TRUE; // all higher bits equal so far and >= holds
+    let mut gt = Lit::FALSE;
+    for i in (0..value.len()).rev() {
+        let kb = k >> i & 1 == 1;
+        if kb {
+            // value bit must be 1 to stay equal; 0 makes it less.
+            ge = g.and(ge, value[i]);
+        } else {
+            // value bit 1 makes it strictly greater.
+            let t = g.and(ge, value[i]);
+            gt = g.or(gt, t);
+        }
+    }
+    if k >> value.len() != 0 {
+        // k needs more bits than value has: impossible.
+        return Lit::FALSE;
+    }
+    g.or(gt, ge)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::exhaustive_diff;
+
+    #[test]
+    fn comparators_semantics() {
+        let w = 4;
+        for g in [comparator_ripple(w), comparator_subtract(w)] {
+            for a in 0..16u64 {
+                for b in 0..16u64 {
+                    let mut pat = Vec::new();
+                    for i in 0..w {
+                        pat.push(a >> i & 1 == 1);
+                    }
+                    for i in 0..w {
+                        pat.push(b >> i & 1 == 1);
+                    }
+                    let out = g.evaluate(&pat);
+                    assert_eq!(out[0], a < b, "{a} < {b}");
+                    assert_eq!(out[1], a == b, "{a} == {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn comparators_agree() {
+        assert_eq!(
+            exhaustive_diff(&comparator_ripple(4), &comparator_subtract(4), 8),
+            None
+        );
+    }
+
+    #[test]
+    fn parity_versions_agree() {
+        for w in [1, 2, 5, 8] {
+            assert_eq!(exhaustive_diff(&parity_chain(w), &parity_tree(w), 8), None);
+        }
+    }
+
+    #[test]
+    fn parity_semantics() {
+        let g = parity_tree(5);
+        assert_eq!(g.evaluate(&[true, false, true, true, false]), vec![true]);
+        assert_eq!(g.evaluate(&[true, false, true, true, true]), vec![false]);
+    }
+
+    #[test]
+    fn majority_semantics() {
+        for w in [1, 3, 5, 7] {
+            let g = majority(w);
+            for bits in 0..(1u64 << w) {
+                let pat: Vec<bool> = (0..w).map(|i| bits >> i & 1 == 1).collect();
+                let ones = pat.iter().filter(|&&v| v).count();
+                assert_eq!(
+                    g.evaluate(&pat)[0],
+                    ones > w / 2,
+                    "w={w} pattern {bits:0w$b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn majority_even_width() {
+        // For w=4, majority means >= 3 of 4.
+        let g = majority(4);
+        assert!(!g.evaluate(&[true, true, false, false])[0]);
+        assert!(g.evaluate(&[true, true, true, false])[0]);
+    }
+}

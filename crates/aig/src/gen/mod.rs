@@ -1,0 +1,98 @@
+//! Parameterized circuit generators.
+//!
+//! These stand in for the industrial/academic benchmark netlists used in
+//! the paper's evaluation (see the substitution table in `DESIGN.md`).
+//! Each family provides several *architecturally different* implementations
+//! of the same arithmetic function, which is exactly the classical CEC
+//! workload: adders in different carry schemes share many internal
+//! equivalences (easy for SAT sweeping), while multipliers in different
+//! architectures share few (hard, close to monolithic).
+//!
+//! All generators return self-contained [`Aig`]s whose input
+//! order is documented per function, so two circuits of the same family
+//! and width can be mitered input-by-input.
+
+mod adders;
+mod alu;
+mod encode;
+mod misc;
+mod mult;
+mod mutate;
+mod random;
+mod shift;
+
+pub use adders::{
+    brent_kung_adder, carry_select_adder, carry_skip_adder, kogge_stone_adder,
+    ripple_carry_adder,
+};
+pub use encode::{
+    decoder_flat, decoder_split, popcount_csa, popcount_serial, priority_encoder_chain,
+    priority_encoder_onehot,
+};
+pub use alu::{alu, AluArch};
+pub use misc::{comparator_ripple, comparator_subtract, majority, parity_chain, parity_tree};
+pub use mult::{array_multiplier, carry_save_multiplier};
+pub use mutate::mutate;
+pub use random::random_aig;
+pub use shift::{barrel_shifter_log, barrel_shifter_mux};
+
+/// Alias kept because several EDA texts call the prefix adder a CLA.
+///
+/// Equivalent to [`kogge_stone_adder`].
+pub fn carry_lookahead_adder(width: usize) -> crate::Aig {
+    kogge_stone_adder(width)
+}
+
+use crate::{Aig, Lit};
+
+/// One-bit full adder; returns `(sum, carry_out)`.
+pub(crate) fn full_adder(g: &mut Aig, a: Lit, b: Lit, c: Lit) -> (Lit, Lit) {
+    let axb = g.xor(a, b);
+    let sum = g.xor(axb, c);
+    let ab = g.and(a, b);
+    let axb_c = g.and(axb, c);
+    let carry = g.or(ab, axb_c);
+    (sum, carry)
+}
+
+/// One-bit half adder; returns `(sum, carry_out)`.
+pub(crate) fn half_adder(g: &mut Aig, a: Lit, b: Lit) -> (Lit, Lit) {
+    (g.xor(a, b), g.and(a, b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Aig;
+
+    #[test]
+    fn full_adder_truth_table() {
+        let mut g = Aig::new();
+        let a = g.add_input();
+        let b = g.add_input();
+        let c = g.add_input();
+        let (s, co) = full_adder(&mut g, a, b, c);
+        g.add_output(s);
+        g.add_output(co);
+        for bits in 0..8u32 {
+            let pat: Vec<bool> = (0..3).map(|i| bits >> i & 1 == 1).collect();
+            let total = pat.iter().filter(|&&v| v).count();
+            let out = g.evaluate(&pat);
+            assert_eq!(out[0], total % 2 == 1, "sum for {pat:?}");
+            assert_eq!(out[1], total >= 2, "carry for {pat:?}");
+        }
+    }
+
+    #[test]
+    fn half_adder_truth_table() {
+        let mut g = Aig::new();
+        let a = g.add_input();
+        let b = g.add_input();
+        let (s, c) = half_adder(&mut g, a, b);
+        g.add_output(s);
+        g.add_output(c);
+        assert_eq!(g.evaluate(&[false, false]), vec![false, false]);
+        assert_eq!(g.evaluate(&[true, false]), vec![true, false]);
+        assert_eq!(g.evaluate(&[true, true]), vec![false, true]);
+    }
+}

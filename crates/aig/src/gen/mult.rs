@@ -1,0 +1,191 @@
+//! Multiplier architectures: array and carry-save (CSA tree).
+//!
+//! Interface: inputs `a[0..w]` then `b[0..w]` (LSB first), outputs
+//! `product[0..2w]` — so the two architectures at the same width form a
+//! CEC pair. Heterogeneous multiplier pairs are the classical
+//! equivalence-*poor* workload where SAT sweeping degrades toward the
+//! monolithic miter.
+
+use super::{full_adder, half_adder};
+use crate::{Aig, Lit};
+
+fn partial_products(g: &mut Aig, a: &[Lit], b: &[Lit]) -> Vec<Vec<Lit>> {
+    // column[c] = all partial product bits of weight c.
+    let w = a.len();
+    let mut columns: Vec<Vec<Lit>> = vec![Vec::new(); 2 * w];
+    for (i, &ai) in a.iter().enumerate() {
+        for (j, &bj) in b.iter().enumerate() {
+            let pp = g.and(ai, bj);
+            columns[i + j].push(pp);
+        }
+    }
+    columns
+}
+
+/// Array multiplier: rows of partial products accumulated by a chain of
+/// ripple adders (quadratic area, linear-in-width depth per row).
+///
+/// # Panics
+///
+/// Panics if `width == 0`.
+///
+/// # Example
+///
+/// ```
+/// use aig::gen::array_multiplier;
+/// let g = array_multiplier(3);
+/// // 5 * 6 = 30 (LSB first): a=101, b=011
+/// let pat = [true, false, true, false, true, true];
+/// let out = g.evaluate(&pat);
+/// let val: u32 = out.iter().enumerate().map(|(i, &b)| (b as u32) << i).sum();
+/// assert_eq!(val, 30);
+/// ```
+pub fn array_multiplier(width: usize) -> Aig {
+    assert!(width > 0, "multiplier width must be positive");
+    let mut g = Aig::new();
+    let a = g.add_inputs(width);
+    let b = g.add_inputs(width);
+    // Accumulate row by row: acc += (a & b[j]) << j.
+    let mut acc: Vec<Lit> = vec![Lit::FALSE; 2 * width];
+    for (j, &bj) in b.iter().enumerate() {
+        // Row of partial products for this b bit.
+        let row: Vec<Lit> = a.iter().map(|&ai| g.and(ai, bj)).collect();
+        // Ripple-add the row into the accumulator at offset j.
+        let mut carry = Lit::FALSE;
+        for (i, &r) in row.iter().enumerate() {
+            let (s, c) = full_adder(&mut g, acc[j + i], r, carry);
+            acc[j + i] = s;
+            carry = c;
+        }
+        // Propagate the final carry.
+        let mut k = j + width;
+        while carry != Lit::FALSE && k < 2 * width {
+            let (s, c) = half_adder(&mut g, acc[k], carry);
+            acc[k] = s;
+            carry = c;
+            k += 1;
+        }
+    }
+    for bit in acc {
+        g.add_output(bit);
+    }
+    g
+}
+
+/// Carry-save multiplier: all partial products reduced column-wise by a
+/// tree of 3:2 compressors (CSA), then a single final ripple adder.
+/// Logarithmic reduction depth; structurally dissimilar from the array
+/// multiplier.
+///
+/// # Panics
+///
+/// Panics if `width == 0`.
+pub fn carry_save_multiplier(width: usize) -> Aig {
+    assert!(width > 0, "multiplier width must be positive");
+    let mut g = Aig::new();
+    let a = g.add_inputs(width);
+    let b = g.add_inputs(width);
+    let mut columns = partial_products(&mut g, &a, &b);
+    // Reduce every column to at most 2 bits using full/half adders,
+    // pushing carries into the next column (Wallace-style reduction).
+    loop {
+        let mut reduced = false;
+        for c in 0..columns.len() {
+            while columns[c].len() > 2 {
+                let x = columns[c].pop().expect("len > 2");
+                let y = columns[c].pop().expect("len > 2");
+                let z = columns[c].pop().expect("len > 2");
+                let (s, carry) = full_adder(&mut g, x, y, z);
+                columns[c].push(s);
+                if c + 1 < columns.len() {
+                    columns[c + 1].push(carry);
+                }
+                reduced = true;
+            }
+        }
+        if !reduced {
+            break;
+        }
+    }
+    // Final carry-propagate ripple over the two remaining rows.
+    let mut product = Vec::with_capacity(2 * width);
+    let mut carry = Lit::FALSE;
+    for col in columns.iter() {
+        let (x, y) = match col.len() {
+            0 => (Lit::FALSE, Lit::FALSE),
+            1 => (col[0], Lit::FALSE),
+            2 => (col[0], col[1]),
+            n => unreachable!("column not reduced: {n} bits"),
+        };
+        let (s, c) = full_adder(&mut g, x, y, carry);
+        product.push(s);
+        carry = c;
+    }
+    for bit in product {
+        g.add_output(bit);
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::exhaustive_diff;
+
+    fn check_mult(g: &Aig, width: usize) {
+        assert_eq!(g.num_inputs(), 2 * width);
+        assert_eq!(g.num_outputs(), 2 * width);
+        g.check().unwrap();
+        let max = 1u64 << width;
+        for av in 0..max.min(16) {
+            for bv in 0..max.min(16) {
+                let mut pat = Vec::new();
+                for i in 0..width {
+                    pat.push(av >> i & 1 == 1);
+                }
+                for i in 0..width {
+                    pat.push(bv >> i & 1 == 1);
+                }
+                let out = g.evaluate(&pat);
+                let expect = av * bv;
+                let got: u64 = out
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &bit)| (bit as u64) << i)
+                    .sum();
+                assert_eq!(got, expect, "{av} * {bv}");
+            }
+        }
+    }
+
+    #[test]
+    fn array_is_correct() {
+        for w in [1, 2, 3, 4] {
+            check_mult(&array_multiplier(w), w);
+        }
+    }
+
+    #[test]
+    fn carry_save_is_correct() {
+        for w in [1, 2, 3, 4] {
+            check_mult(&carry_save_multiplier(w), w);
+        }
+    }
+
+    #[test]
+    fn architectures_agree() {
+        for w in [2, 3, 4] {
+            assert_eq!(
+                exhaustive_diff(&array_multiplier(w), &carry_save_multiplier(w), 8),
+                None
+            );
+        }
+    }
+
+    #[test]
+    fn large_width_builds() {
+        let g = carry_save_multiplier(16);
+        assert_eq!(g.num_outputs(), 32);
+        g.check().unwrap();
+    }
+}

@@ -1,0 +1,93 @@
+//! Fault injection: produce an *inequivalent* copy of a circuit.
+//!
+//! Used by the experiments to exercise the SAT (counterexample) path of
+//! the equivalence checker with realistic near-miss netlists.
+
+use crate::{Aig, Lit, Node};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Rebuilds `src` with a single random gate-level fault: one AND gate's
+/// fanin edge polarity is flipped. Deterministic for a fixed `seed`.
+///
+/// The result is *usually* inequivalent to `src` (the fault can be
+/// masked); callers that need a guaranteed-inequivalent circuit should
+/// verify with simulation or the checker and retry with another seed.
+/// Returns `None` if `src` has no AND gates to mutate.
+pub fn mutate(src: &Aig, seed: u64) -> Option<Aig> {
+    let num_ands = src.num_ands();
+    if num_ands == 0 {
+        return None;
+    }
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let target = rng.gen_range(0..num_ands);
+    let flip_second: bool = rng.gen();
+
+    let mut g = Aig::new();
+    let mut map = vec![Lit::FALSE; src.len()];
+    let mut and_idx = 0;
+    for (id, node) in src.iter() {
+        match *node {
+            Node::Const => {}
+            Node::Input { .. } => map[id.as_usize()] = g.add_input(),
+            Node::And { a, b } => {
+                let mut la = map[a.node().as_usize()].xor_complement(a.is_complemented());
+                let mut lb = map[b.node().as_usize()].xor_complement(b.is_complemented());
+                if and_idx == target {
+                    if flip_second {
+                        lb = !lb;
+                    } else {
+                        la = !la;
+                    }
+                }
+                map[id.as_usize()] = g.and(la, lb);
+                and_idx += 1;
+            }
+        }
+    }
+    for o in src.outputs() {
+        let l = map[o.node().as_usize()].xor_complement(o.is_complemented());
+        g.add_output(l);
+    }
+    Some(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::ripple_carry_adder;
+    use crate::sim::exhaustive_diff;
+
+    #[test]
+    fn mutant_differs_somewhere() {
+        let g = ripple_carry_adder(3);
+        let mut found_diff = false;
+        for seed in 0..10 {
+            let m = mutate(&g, seed).expect("adder has gates");
+            m.check().unwrap();
+            assert_eq!(m.num_inputs(), g.num_inputs());
+            assert_eq!(m.num_outputs(), g.num_outputs());
+            if exhaustive_diff(&g, &m, 8).is_some() {
+                found_diff = true;
+            }
+        }
+        assert!(found_diff, "no seed produced an observable fault");
+    }
+
+    #[test]
+    fn no_gates_no_mutation() {
+        let mut g = Aig::new();
+        let x = g.add_input();
+        g.add_output(x);
+        assert!(mutate(&g, 0).is_none());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = ripple_carry_adder(4);
+        let m1 = mutate(&g, 5).unwrap();
+        let m2 = mutate(&g, 5).unwrap();
+        assert_eq!(m1.len(), m2.len());
+        assert_eq!(m1.outputs(), m2.outputs());
+    }
+}

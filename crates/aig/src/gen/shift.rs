@@ -1,0 +1,133 @@
+//! Barrel shifter architectures: logarithmic stages vs one-hot mux.
+
+use crate::{Aig, Lit};
+
+/// Logarithmic barrel shifter (left shift, zero fill).
+///
+/// Inputs: `data[0..w]` then `amount[0..ceil(log2(w))]` (LSB first).
+/// Outputs: `result[0..w]`. Shift amounts `>= w` produce zero.
+///
+/// # Panics
+///
+/// Panics if `width == 0`.
+pub fn barrel_shifter_log(width: usize) -> Aig {
+    assert!(width > 0, "shifter width must be positive");
+    let sel_bits = sel_width(width);
+    let mut g = Aig::new();
+    let data = g.add_inputs(width);
+    let amount = g.add_inputs(sel_bits);
+    let mut cur = data;
+    for (stage, &sel) in amount.iter().enumerate() {
+        let shift = 1usize << stage;
+        let mut next = Vec::with_capacity(width);
+        for i in 0..width {
+            let shifted = if i >= shift { cur[i - shift] } else { Lit::FALSE };
+            next.push(g.mux(sel, shifted, cur[i]));
+        }
+        cur = next;
+    }
+    for bit in cur {
+        g.add_output(bit);
+    }
+    g
+}
+
+/// One-hot barrel shifter: decodes the amount and muxes each candidate
+/// shifted word. Same interface as [`barrel_shifter_log`].
+///
+/// # Panics
+///
+/// Panics if `width == 0`.
+pub fn barrel_shifter_mux(width: usize) -> Aig {
+    assert!(width > 0, "shifter width must be positive");
+    let sel_bits = sel_width(width);
+    let mut g = Aig::new();
+    let data = g.add_inputs(width);
+    let amount = g.add_inputs(sel_bits);
+    // One-hot decode every possible shift amount.
+    let num_amounts = 1usize << sel_bits;
+    let mut onehot = Vec::with_capacity(num_amounts);
+    for k in 0..num_amounts {
+        let mut terms = Vec::with_capacity(sel_bits);
+        for (bit, &sel) in amount.iter().enumerate() {
+            terms.push(sel.xor_complement(k >> bit & 1 == 0));
+        }
+        onehot.push(g.and_all(&terms));
+    }
+    // Each output bit ORs the matching data bit under each decoded amount.
+    for i in 0..width {
+        let mut terms = Vec::new();
+        for (k, &hot) in onehot.iter().enumerate() {
+            if k <= i {
+                terms.push(g.and(hot, data[i - k]));
+            }
+        }
+        let bit = g.or_all(&terms);
+        g.add_output(bit);
+    }
+    g
+}
+
+fn sel_width(width: usize) -> usize {
+    // Enough bits to encode shifts 0..width-1 (at least 1).
+    (usize::BITS - (width - 1).max(1).leading_zeros()) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::exhaustive_diff;
+
+    fn run(g: &Aig, width: usize, data: u64, amount: u64) -> u64 {
+        let sel = sel_width(width);
+        let mut pat = Vec::new();
+        for i in 0..width {
+            pat.push(data >> i & 1 == 1);
+        }
+        for i in 0..sel {
+            pat.push(amount >> i & 1 == 1);
+        }
+        g.evaluate(&pat)
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| (b as u64) << i)
+            .sum()
+    }
+
+    #[test]
+    fn log_shifter_semantics() {
+        let w = 8;
+        let g = barrel_shifter_log(w);
+        let mask = (1u64 << w) - 1;
+        for amt in 0..8u64 {
+            assert_eq!(run(&g, w, 0b1011_0101, amt), (0b1011_0101 << amt) & mask);
+        }
+    }
+
+    #[test]
+    fn mux_shifter_semantics() {
+        let w = 8;
+        let g = barrel_shifter_mux(w);
+        let mask = (1u64 << w) - 1;
+        for amt in 0..8u64 {
+            assert_eq!(run(&g, w, 0b1110_0011, amt), (0b1110_0011 << amt) & mask);
+        }
+    }
+
+    #[test]
+    fn architectures_agree() {
+        for w in [2, 4] {
+            assert_eq!(
+                exhaustive_diff(&barrel_shifter_log(w), &barrel_shifter_mux(w), 8),
+                None
+            );
+        }
+    }
+
+    #[test]
+    fn width_one_shifter() {
+        let g = barrel_shifter_log(1);
+        assert_eq!(run(&g, 1, 1, 0), 1);
+        assert_eq!(run(&g, 1, 1, 1), 0);
+    }
+}

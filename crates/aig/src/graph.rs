@@ -1,0 +1,526 @@
+//! The structurally-hashed And-Inverter Graph.
+
+use crate::{Lit, NodeId};
+use std::collections::HashMap;
+use std::fmt;
+
+/// One node of an [`Aig`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Node {
+    /// The constant-false node. Always node 0, never created explicitly.
+    Const,
+    /// Primary input number `index` (position in [`Aig::inputs`]).
+    Input {
+        /// Position of this input in the input list.
+        index: u32,
+    },
+    /// Two-input AND gate over complemented edges, normalized so that
+    /// `a.raw() <= b.raw()`.
+    And {
+        /// First (smaller raw literal) fanin.
+        a: Lit,
+        /// Second fanin.
+        b: Lit,
+    },
+}
+
+impl Node {
+    /// Whether this node is an AND gate.
+    #[inline]
+    pub fn is_and(&self) -> bool {
+        matches!(self, Node::And { .. })
+    }
+
+    /// Whether this node is a primary input.
+    #[inline]
+    pub fn is_input(&self) -> bool {
+        matches!(self, Node::Input { .. })
+    }
+
+    /// Fanins of an AND node, `None` otherwise.
+    #[inline]
+    pub fn fanins(&self) -> Option<(Lit, Lit)> {
+        match *self {
+            Node::And { a, b } => Some((a, b)),
+            _ => None,
+        }
+    }
+}
+
+/// A combinational And-Inverter Graph with structural hashing and
+/// constant folding on construction.
+///
+/// Node 0 is the constant-false node; [`Lit::FALSE`]/[`Lit::TRUE`] refer to
+/// it. Inputs and AND gates are appended afterwards, so fanins always have
+/// smaller indices than the gates that use them (the node array is a
+/// topological order).
+///
+/// # Example
+///
+/// ```
+/// use aig::Aig;
+///
+/// let mut g = Aig::new();
+/// let x = g.add_input();
+/// let y = g.add_input();
+/// let xor = g.xor(x, y);
+/// g.add_output(xor);
+///
+/// assert_eq!(g.num_inputs(), 2);
+/// assert_eq!(g.num_outputs(), 1);
+/// assert!(g.num_ands() >= 1);
+/// ```
+#[derive(Clone, Default)]
+pub struct Aig {
+    nodes: Vec<Node>,
+    inputs: Vec<NodeId>,
+    outputs: Vec<Lit>,
+    strash: HashMap<(Lit, Lit), NodeId>,
+}
+
+impl Aig {
+    /// Creates an empty AIG containing only the constant node.
+    pub fn new() -> Self {
+        Aig {
+            nodes: vec![Node::Const],
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            strash: HashMap::new(),
+        }
+    }
+
+    /// Creates an empty AIG with capacity for `n` nodes.
+    pub fn with_capacity(n: usize) -> Self {
+        let mut g = Aig {
+            nodes: Vec::with_capacity(n + 1),
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            strash: HashMap::with_capacity(n),
+        };
+        g.nodes.push(Node::Const);
+        g
+    }
+
+    /// Total number of nodes including the constant node.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the graph contains only the constant node.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() == 1
+    }
+
+    /// Number of primary inputs.
+    #[inline]
+    pub fn num_inputs(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Number of primary outputs.
+    #[inline]
+    pub fn num_outputs(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Number of AND gates.
+    #[inline]
+    pub fn num_ands(&self) -> usize {
+        self.nodes.len() - 1 - self.inputs.len()
+    }
+
+    /// The node table entry for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[inline]
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.as_usize()]
+    }
+
+    /// Primary input node ids, in insertion order.
+    #[inline]
+    pub fn inputs(&self) -> &[NodeId] {
+        &self.inputs
+    }
+
+    /// Primary output literals, in insertion order.
+    #[inline]
+    pub fn outputs(&self) -> &[Lit] {
+        &self.outputs
+    }
+
+    /// Iterates over `(NodeId, &Node)` in topological (index) order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &Node)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (NodeId::new(i as u32), n))
+    }
+
+    /// Iterates over the AND nodes only, in topological order.
+    pub fn iter_ands(&self) -> impl Iterator<Item = (NodeId, Lit, Lit)> + '_ {
+        self.iter().filter_map(|(id, n)| match *n {
+            Node::And { a, b } => Some((id, a, b)),
+            _ => None,
+        })
+    }
+
+    /// Appends a new primary input and returns its positive literal.
+    pub fn add_input(&mut self) -> Lit {
+        let id = NodeId::new(self.nodes.len() as u32);
+        self.nodes.push(Node::Input {
+            index: self.inputs.len() as u32,
+        });
+        self.inputs.push(id);
+        id.pos()
+    }
+
+    /// Appends `n` primary inputs and returns their positive literals.
+    pub fn add_inputs(&mut self, n: usize) -> Vec<Lit> {
+        (0..n).map(|_| self.add_input()).collect()
+    }
+
+    /// Marks `lit` as a primary output and returns its output index.
+    pub fn add_output(&mut self, lit: Lit) -> usize {
+        debug_assert!(lit.node().as_usize() < self.nodes.len());
+        self.outputs.push(lit);
+        self.outputs.len() - 1
+    }
+
+    /// Replaces output `index` with `lit`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn set_output(&mut self, index: usize, lit: Lit) {
+        self.outputs[index] = lit;
+    }
+
+    /// Creates (or finds) the AND of `a` and `b`.
+    ///
+    /// Performs constant folding (`x & 0 = 0`, `x & 1 = x`, `x & x = x`,
+    /// `x & !x = 0`) and structural hashing: asking for the same pair twice
+    /// returns the same literal.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use aig::{Aig, Lit};
+    /// let mut g = Aig::new();
+    /// let x = g.add_input();
+    /// assert_eq!(g.and(x, Lit::FALSE), Lit::FALSE);
+    /// assert_eq!(g.and(x, Lit::TRUE), x);
+    /// assert_eq!(g.and(x, !x), Lit::FALSE);
+    /// let y = g.add_input();
+    /// assert_eq!(g.and(x, y), g.and(y, x));
+    /// ```
+    pub fn and(&mut self, a: Lit, b: Lit) -> Lit {
+        let (a, b) = if a.raw() <= b.raw() { (a, b) } else { (b, a) };
+        // Constant folding.
+        if a == Lit::FALSE || a == !b {
+            return Lit::FALSE;
+        }
+        if a == Lit::TRUE || a == b {
+            return b;
+        }
+        if let Some(&id) = self.strash.get(&(a, b)) {
+            return id.pos();
+        }
+        let id = NodeId::new(self.nodes.len() as u32);
+        self.nodes.push(Node::And { a, b });
+        self.strash.insert((a, b), id);
+        id.pos()
+    }
+
+    /// Creates the AND of `a` and `b` *without* structural hashing: a
+    /// fresh node is always allocated (constant folding still applies —
+    /// the folding cases have no node to allocate).
+    ///
+    /// Existing nodes can still be found by later [`Aig::and`] calls:
+    /// the new node is entered into the hash table only if its key is
+    /// vacant. Used by the equivalence checker's no-sharing ablation.
+    pub fn and_unshared(&mut self, a: Lit, b: Lit) -> Lit {
+        let (a, b) = if a.raw() <= b.raw() { (a, b) } else { (b, a) };
+        if a == Lit::FALSE || a == !b {
+            return Lit::FALSE;
+        }
+        if a == Lit::TRUE || a == b {
+            return b;
+        }
+        let id = NodeId::new(self.nodes.len() as u32);
+        self.nodes.push(Node::And { a, b });
+        self.strash.entry((a, b)).or_insert(id);
+        id.pos()
+    }
+
+    /// Looks up an existing AND of `a` and `b` without creating one.
+    ///
+    /// Applies the same normalization and folding rules as [`Aig::and`];
+    /// returns `None` only if the gate would have to be created.
+    pub fn find_and(&self, a: Lit, b: Lit) -> Option<Lit> {
+        let (a, b) = if a.raw() <= b.raw() { (a, b) } else { (b, a) };
+        if a == Lit::FALSE || a == !b {
+            return Some(Lit::FALSE);
+        }
+        if a == Lit::TRUE || a == b {
+            return Some(b);
+        }
+        self.strash.get(&(a, b)).map(|&id| id.pos())
+    }
+
+    /// OR via De Morgan.
+    #[inline]
+    pub fn or(&mut self, a: Lit, b: Lit) -> Lit {
+        !self.and(!a, !b)
+    }
+
+    /// XOR built from two ANDs.
+    pub fn xor(&mut self, a: Lit, b: Lit) -> Lit {
+        // a ^ b = !(a & b) & !(!a & !b)
+        let t0 = self.and(a, b);
+        let t1 = self.and(!a, !b);
+        self.and(!t0, !t1)
+    }
+
+    /// XNOR (equivalence).
+    #[inline]
+    pub fn xnor(&mut self, a: Lit, b: Lit) -> Lit {
+        !self.xor(a, b)
+    }
+
+    /// Multiplexer: `sel ? t : e`.
+    pub fn mux(&mut self, sel: Lit, t: Lit, e: Lit) -> Lit {
+        let hi = self.and(sel, t);
+        let lo = self.and(!sel, e);
+        self.or(hi, lo)
+    }
+
+    /// Implication `a -> b`.
+    #[inline]
+    pub fn implies(&mut self, a: Lit, b: Lit) -> Lit {
+        self.or(!a, b)
+    }
+
+    /// Conjunction of all literals in `lits` as a balanced tree.
+    ///
+    /// Returns [`Lit::TRUE`] for an empty slice.
+    pub fn and_all(&mut self, lits: &[Lit]) -> Lit {
+        match lits.len() {
+            0 => Lit::TRUE,
+            1 => lits[0],
+            _ => {
+                let mid = lits.len() / 2;
+                let l = self.and_all(&lits[..mid]);
+                let r = self.and_all(&lits[mid..]);
+                self.and(l, r)
+            }
+        }
+    }
+
+    /// Disjunction of all literals in `lits` as a balanced tree.
+    ///
+    /// Returns [`Lit::FALSE`] for an empty slice.
+    pub fn or_all(&mut self, lits: &[Lit]) -> Lit {
+        match lits.len() {
+            0 => Lit::FALSE,
+            1 => lits[0],
+            _ => {
+                let mid = lits.len() / 2;
+                let l = self.or_all(&lits[..mid]);
+                let r = self.or_all(&lits[mid..]);
+                self.or(l, r)
+            }
+        }
+    }
+
+    /// XOR of all literals in `lits` as a balanced tree (parity).
+    pub fn xor_all(&mut self, lits: &[Lit]) -> Lit {
+        match lits.len() {
+            0 => Lit::FALSE,
+            1 => lits[0],
+            _ => {
+                let mid = lits.len() / 2;
+                let l = self.xor_all(&lits[..mid]);
+                let r = self.xor_all(&lits[mid..]);
+                self.xor(l, r)
+            }
+        }
+    }
+
+    /// Checks internal invariants; used by tests and after I/O.
+    ///
+    /// Verifies that node 0 is the constant, fanins point strictly
+    /// backwards, inputs are registered consistently, outputs are in
+    /// range, and AND fanins are normalized.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn check(&self) -> Result<(), String> {
+        if self.nodes.first() != Some(&Node::Const) {
+            return Err("node 0 is not the constant node".into());
+        }
+        for (i, node) in self.nodes.iter().enumerate().skip(1) {
+            match *node {
+                Node::Const => return Err(format!("duplicate constant node at {i}")),
+                Node::Input { index } => {
+                    let id = self.inputs.get(index as usize).copied();
+                    if id != Some(NodeId::new(i as u32)) {
+                        return Err(format!("input node {i} not registered at index {index}"));
+                    }
+                }
+                Node::And { a, b } => {
+                    if a.node().as_usize() >= i || b.node().as_usize() >= i {
+                        return Err(format!("node {i} has forward fanin"));
+                    }
+                    if a.raw() > b.raw() {
+                        return Err(format!("node {i} fanins not normalized"));
+                    }
+                }
+            }
+        }
+        for (i, out) in self.outputs.iter().enumerate() {
+            if out.node().as_usize() >= self.nodes.len() {
+                return Err(format!("output {i} out of range"));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Aig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Aig {{ inputs: {}, ands: {}, outputs: {} }}",
+            self.num_inputs(),
+            self.num_ands(),
+            self.num_outputs()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph() {
+        let g = Aig::new();
+        assert!(g.is_empty());
+        assert_eq!(g.len(), 1);
+        assert_eq!(g.num_ands(), 0);
+        assert!(matches!(g.node(NodeId::CONST), Node::Const));
+        g.check().unwrap();
+    }
+
+    #[test]
+    fn folding_rules() {
+        let mut g = Aig::new();
+        let x = g.add_input();
+        assert_eq!(g.and(Lit::FALSE, x), Lit::FALSE);
+        assert_eq!(g.and(Lit::TRUE, x), x);
+        assert_eq!(g.and(x, x), x);
+        assert_eq!(g.and(x, !x), Lit::FALSE);
+        assert_eq!(g.num_ands(), 0);
+    }
+
+    #[test]
+    fn structural_hashing_dedups() {
+        let mut g = Aig::new();
+        let x = g.add_input();
+        let y = g.add_input();
+        let n1 = g.and(x, y);
+        let n2 = g.and(y, x);
+        assert_eq!(n1, n2);
+        assert_eq!(g.num_ands(), 1);
+        let n3 = g.and(!x, y);
+        assert_ne!(n1, n3);
+        assert_eq!(g.num_ands(), 2);
+    }
+
+    #[test]
+    fn find_and_matches_and() {
+        let mut g = Aig::new();
+        let x = g.add_input();
+        let y = g.add_input();
+        assert_eq!(g.find_and(x, y), None);
+        let n = g.and(x, y);
+        assert_eq!(g.find_and(y, x), Some(n));
+        assert_eq!(g.find_and(x, Lit::TRUE), Some(x));
+        assert_eq!(g.find_and(x, !x), Some(Lit::FALSE));
+    }
+
+    #[test]
+    fn xor_of_equal_is_false() {
+        let mut g = Aig::new();
+        let x = g.add_input();
+        assert_eq!(g.xor(x, x), Lit::FALSE);
+        assert_eq!(g.xor(x, !x), Lit::TRUE);
+        assert_eq!(g.xnor(x, x), Lit::TRUE);
+    }
+
+    #[test]
+    fn mux_folds_on_equal_branches() {
+        let mut g = Aig::new();
+        let s = g.add_input();
+        let x = g.add_input();
+        // sel ? x : x  =>  or(and(s,x), and(!s,x)) — not folded to x by pure
+        // strashing, but must still be functionally x; just check construction.
+        let m = g.mux(s, x, x);
+        assert!(g.check().is_ok());
+        assert_ne!(m, Lit::FALSE);
+        // sel ? T : F == sel
+        let m2 = g.mux(s, Lit::TRUE, Lit::FALSE);
+        assert_eq!(m2, s);
+    }
+
+    #[test]
+    fn tree_helpers() {
+        let mut g = Aig::new();
+        let xs = g.add_inputs(5);
+        assert_eq!(g.and_all(&[]), Lit::TRUE);
+        assert_eq!(g.or_all(&[]), Lit::FALSE);
+        assert_eq!(g.xor_all(&[]), Lit::FALSE);
+        assert_eq!(g.and_all(&xs[..1]), xs[0]);
+        let a = g.and_all(&xs);
+        let o = g.or_all(&xs);
+        let x = g.xor_all(&xs);
+        assert_ne!(a, o);
+        assert_ne!(o, x);
+        g.check().unwrap();
+    }
+
+    #[test]
+    fn outputs_registered() {
+        let mut g = Aig::new();
+        let x = g.add_input();
+        let y = g.add_input();
+        let n = g.and(x, y);
+        let idx = g.add_output(!n);
+        assert_eq!(idx, 0);
+        assert_eq!(g.outputs(), &[!n]);
+        g.set_output(0, n);
+        assert_eq!(g.outputs(), &[n]);
+        g.check().unwrap();
+    }
+
+    #[test]
+    fn check_rejects_forward_fanin() {
+        let mut g = Aig::new();
+        let x = g.add_input();
+        let y = g.add_input();
+        g.and(x, y);
+        // Manually corrupt via transmute-free route: build a bad graph.
+        let mut bad = Aig::new();
+        bad.nodes.push(Node::And {
+            a: NodeId::new(2).pos(),
+            b: NodeId::new(3).pos(),
+        });
+        assert!(bad.check().is_err());
+    }
+}

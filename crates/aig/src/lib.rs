@@ -1,0 +1,46 @@
+//! And-Inverter Graphs (AIGs) for combinational equivalence checking.
+//!
+//! This crate provides the netlist substrate of the `resolution-cec`
+//! workspace:
+//!
+//! - [`Aig`]: a structurally-hashed AIG with complemented edges and
+//!   constant folding, the representation used by modern CEC engines.
+//! - [`gen`]: parameterized circuit generators (adders, multipliers,
+//!   ALUs, shifters, comparators, parity, random graphs) providing the
+//!   benchmark workloads, plus fault injection ([`gen::mutate`]).
+//! - Bit-parallel [simulation](Aig::simulate_random) and scalar
+//!   [evaluation](Aig::evaluate).
+//! - [`aiger`]: AIGER (ASCII and binary) I/O so external benchmarks can
+//!   be used.
+//! - Function-preserving rewriting ([`Aig::balance`],
+//!   [`Aig::shuffle_rebuild`]) to manufacture structurally different
+//!   equivalent circuits.
+//!
+//! # Example
+//!
+//! ```
+//! use aig::gen::{kogge_stone_adder, ripple_carry_adder};
+//! use aig::sim::exhaustive_diff;
+//!
+//! let rca = ripple_carry_adder(4);
+//! let ksa = kogge_stone_adder(4);
+//! // Different structure...
+//! assert_ne!(rca.num_ands(), ksa.num_ands());
+//! // ...same function.
+//! assert_eq!(exhaustive_diff(&rca, &ksa, 8), None);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod aiger;
+pub mod dot;
+pub mod gen;
+mod graph;
+mod lit;
+mod rewrite;
+pub mod sim;
+mod topo;
+
+pub use graph::{Aig, Node};
+pub use lit::{Lit, NodeId};
+pub use topo::AigStats;

@@ -1,0 +1,238 @@
+//! Node identifiers and complemented edge literals.
+//!
+//! An AIG edge is a [`Lit`]: a [`NodeId`] plus a complement bit, packed into
+//! a single `u32` the way AIGER and ABC do (`var * 2 + sign`). Node 0 is
+//! reserved for the constant-false node, so [`Lit::FALSE`] is literal `0`
+//! and [`Lit::TRUE`] is literal `1`.
+
+use std::fmt;
+
+/// Index of a node inside an [`Aig`](crate::Aig).
+///
+/// Node `0` is always the constant-false node.
+///
+/// # Example
+///
+/// ```
+/// use aig::NodeId;
+/// let n = NodeId::new(3);
+/// assert_eq!(n.index(), 3);
+/// assert_eq!(n.lit(false).node(), n);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// The constant-false node present in every AIG.
+    pub const CONST: NodeId = NodeId(0);
+
+    /// Creates a node id from a raw index.
+    #[inline]
+    pub const fn new(index: u32) -> Self {
+        NodeId(index)
+    }
+
+    /// Raw index of this node.
+    #[inline]
+    pub const fn index(self) -> u32 {
+        self.0
+    }
+
+    /// Raw index as `usize`, for table lookups.
+    #[inline]
+    pub const fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The positive or complemented literal pointing at this node.
+    #[inline]
+    pub const fn lit(self, complement: bool) -> Lit {
+        Lit((self.0 << 1) | complement as u32)
+    }
+
+    /// The positive literal pointing at this node.
+    #[inline]
+    pub const fn pos(self) -> Lit {
+        self.lit(false)
+    }
+
+    /// The complemented literal pointing at this node.
+    #[inline]
+    pub const fn neg(self) -> Lit {
+        self.lit(true)
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A complemented edge: a node reference plus an inversion bit.
+///
+/// Packed as `node_index * 2 + complement`, matching the AIGER convention,
+/// so [`Lit::FALSE`] is `0` and [`Lit::TRUE`] is `1`.
+///
+/// # Example
+///
+/// ```
+/// use aig::{Lit, NodeId};
+/// let a = NodeId::new(5).pos();
+/// assert!(!a.is_complemented());
+/// assert!((!a).is_complemented());
+/// assert_eq!(!!a, a);
+/// assert_eq!(!Lit::TRUE, Lit::FALSE);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// The constant-false literal (positive edge to node 0).
+    pub const FALSE: Lit = Lit(0);
+    /// The constant-true literal (complemented edge to node 0).
+    pub const TRUE: Lit = Lit(1);
+
+    /// Creates a literal from its raw AIGER encoding (`2 * node + sign`).
+    #[inline]
+    pub const fn from_raw(raw: u32) -> Self {
+        Lit(raw)
+    }
+
+    /// Raw AIGER encoding of this literal.
+    #[inline]
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// The node this literal points at.
+    #[inline]
+    pub const fn node(self) -> NodeId {
+        NodeId(self.0 >> 1)
+    }
+
+    /// Whether the edge is complemented.
+    #[inline]
+    pub const fn is_complemented(self) -> bool {
+        self.0 & 1 != 0
+    }
+
+    /// Whether this is one of the two constant literals.
+    #[inline]
+    pub const fn is_const(self) -> bool {
+        self.0 <= 1
+    }
+
+    /// This literal with the complement bit forced to `complement`.
+    #[inline]
+    pub const fn with_complement(self, complement: bool) -> Lit {
+        Lit((self.0 & !1) | complement as u32)
+    }
+
+    /// This literal complemented iff `flip` is true.
+    ///
+    /// Useful when pushing an inversion through a structure:
+    ///
+    /// ```
+    /// use aig::NodeId;
+    /// let a = NodeId::new(2).pos();
+    /// assert_eq!(a.xor_complement(true), !a);
+    /// assert_eq!(a.xor_complement(false), a);
+    /// ```
+    #[inline]
+    pub const fn xor_complement(self, flip: bool) -> Lit {
+        Lit(self.0 ^ flip as u32)
+    }
+
+    /// The positive-polarity literal of the same node.
+    #[inline]
+    pub const fn abs(self) -> Lit {
+        Lit(self.0 & !1)
+    }
+}
+
+impl std::ops::Not for Lit {
+    type Output = Lit;
+
+    #[inline]
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl From<NodeId> for Lit {
+    #[inline]
+    fn from(node: NodeId) -> Lit {
+        node.pos()
+    }
+}
+
+impl fmt::Debug for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if *self == Lit::FALSE {
+            write!(f, "F")
+        } else if *self == Lit::TRUE {
+            write!(f, "T")
+        } else if self.is_complemented() {
+            write!(f, "!n{}", self.node().index())
+        } else {
+            write!(f, "n{}", self.node().index())
+        }
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_round_trip() {
+        assert_eq!(Lit::FALSE.raw(), 0);
+        assert_eq!(Lit::TRUE.raw(), 1);
+        assert_eq!(!Lit::FALSE, Lit::TRUE);
+        assert_eq!(Lit::FALSE.node(), NodeId::CONST);
+        assert_eq!(Lit::TRUE.node(), NodeId::CONST);
+        assert!(Lit::TRUE.is_const());
+        assert!(!NodeId::new(1).pos().is_const());
+    }
+
+    #[test]
+    fn complement_round_trip() {
+        let l = NodeId::new(7).pos();
+        assert_eq!((!l).node(), l.node());
+        assert_ne!(!l, l);
+        assert_eq!(!!l, l);
+        assert_eq!((!l).abs(), l);
+        assert_eq!(l.with_complement(true), !l);
+        assert_eq!((!l).with_complement(false), l);
+    }
+
+    #[test]
+    fn raw_encoding_matches_aiger() {
+        assert_eq!(NodeId::new(3).pos().raw(), 6);
+        assert_eq!(NodeId::new(3).neg().raw(), 7);
+        assert_eq!(Lit::from_raw(7).node().index(), 3);
+        assert!(Lit::from_raw(7).is_complemented());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", Lit::FALSE), "F");
+        assert_eq!(format!("{}", Lit::TRUE), "T");
+        assert_eq!(format!("{}", NodeId::new(4).pos()), "n4");
+        assert_eq!(format!("{}", NodeId::new(4).neg()), "!n4");
+        assert_eq!(format!("{:?}", NodeId::new(4)), "n4");
+    }
+}

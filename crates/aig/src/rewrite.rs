@@ -1,0 +1,248 @@
+//! Function-preserving restructuring passes.
+//!
+//! These are used both as ordinary AIG hygiene (dead-node removal,
+//! balancing) and as a *workload generator*: [`Aig::shuffle_rebuild`]
+//! produces a structurally different but functionally identical circuit —
+//! exactly the "same design, different synthesis run" input pair that the
+//! equivalence-checking experiments need.
+
+use crate::{Aig, Lit, Node, NodeId};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+impl Aig {
+    /// Copies the graph, keeping only nodes reachable from the outputs.
+    ///
+    /// Inputs are always preserved (including unused ones) so the
+    /// input interface never changes.
+    pub fn cleanup(&self) -> Aig {
+        let mut keep = vec![false; self.len()];
+        for o in self.outputs() {
+            keep[o.node().as_usize()] = true;
+        }
+        for idx in (1..self.len()).rev() {
+            if !keep[idx] {
+                continue;
+            }
+            if let Node::And { a, b } = self.node(NodeId::new(idx as u32)) {
+                keep[a.node().as_usize()] = true;
+                keep[b.node().as_usize()] = true;
+            }
+        }
+        let mut g = Aig::with_capacity(self.len());
+        let mut map = vec![Lit::FALSE; self.len()];
+        for (id, node) in self.iter() {
+            match *node {
+                Node::Const => {}
+                Node::Input { .. } => map[id.as_usize()] = g.add_input(),
+                Node::And { a, b } => {
+                    if !keep[id.as_usize()] {
+                        continue;
+                    }
+                    let la = map[a.node().as_usize()].xor_complement(a.is_complemented());
+                    let lb = map[b.node().as_usize()].xor_complement(b.is_complemented());
+                    map[id.as_usize()] = g.and(la, lb);
+                }
+            }
+        }
+        for o in self.outputs() {
+            g.add_output(map[o.node().as_usize()].xor_complement(o.is_complemented()));
+        }
+        g
+    }
+
+    /// Rebuilds the graph with every maximal AND-tree re-expressed as a
+    /// depth-balanced tree over its leaves (ABC's `balance`, simplified).
+    ///
+    /// Preserves the function of every output; typically reduces depth.
+    pub fn balance(&self) -> Aig {
+        self.rebuild_trees(TreeOrder::ByLevel)
+    }
+
+    /// Rebuilds the graph with every maximal AND-tree rebuilt over a
+    /// pseudo-randomly permuted leaf order (deterministic per `seed`).
+    ///
+    /// The result is functionally identical but structurally different:
+    /// associativity/commutativity of the AND trees is re-decided at
+    /// random. Used to manufacture equivalence-checking input pairs.
+    pub fn shuffle_rebuild(&self, seed: u64) -> Aig {
+        self.rebuild_trees(TreeOrder::Shuffled(seed))
+    }
+
+    fn rebuild_trees(&self, order: TreeOrder) -> Aig {
+        let fanout = self.fanout_counts();
+        let mut rng = match order {
+            TreeOrder::Shuffled(seed) => Some(SmallRng::seed_from_u64(seed)),
+            TreeOrder::ByLevel => None,
+        };
+        let mut g = Aig::with_capacity(self.len());
+        let mut map = vec![Lit::FALSE; self.len()];
+        for (id, node) in self.iter() {
+            match *node {
+                Node::Const => {}
+                Node::Input { .. } => map[id.as_usize()] = g.add_input(),
+                Node::And { .. } => {
+                    // Collect the maximal single-fanout AND tree rooted here.
+                    let mut leaves = Vec::new();
+                    self.collect_conjuncts(id.pos(), id, &fanout, &mut leaves);
+                    // Map leaves into the new graph.
+                    let mut mapped: Vec<Lit> = leaves
+                        .iter()
+                        .map(|l| map[l.node().as_usize()].xor_complement(l.is_complemented()))
+                        .collect();
+                    match (&mut rng, order) {
+                        (Some(rng), TreeOrder::Shuffled(_)) => mapped.shuffle(rng),
+                        _ => {
+                            // Sort by level in the new graph (shallow first)
+                            // so the balanced tree pairs shallow leaves.
+                            let levels = g.levels();
+                            mapped.sort_by_key(|l| (levels[l.node().as_usize()], l.raw()));
+                        }
+                    }
+                    map[id.as_usize()] = build_tree(&mut g, &mapped, rng.as_mut());
+                }
+            }
+        }
+        let mut out = g;
+        for o in self.outputs() {
+            let l = map[o.node().as_usize()].xor_complement(o.is_complemented());
+            out.add_output(l);
+        }
+        out.cleanup()
+    }
+
+    /// Pushes `lit` (an edge into the tree rooted at `root`) down through
+    /// non-complemented, single-fanout AND edges, appending leaf literals.
+    fn collect_conjuncts(&self, lit: Lit, root: NodeId, fanout: &[u32], leaves: &mut Vec<Lit>) {
+        let id = lit.node();
+        let expand = !lit.is_complemented()
+            && (id == root || fanout[id.as_usize()] == 1)
+            && matches!(self.node(id), Node::And { .. });
+        if expand {
+            if let Node::And { a, b } = *self.node(id) {
+                self.collect_conjuncts(a, root, fanout, leaves);
+                self.collect_conjuncts(b, root, fanout, leaves);
+                return;
+            }
+        }
+        leaves.push(lit);
+    }
+}
+
+#[derive(Clone, Copy)]
+enum TreeOrder {
+    ByLevel,
+    Shuffled(u64),
+}
+
+fn build_tree(g: &mut Aig, leaves: &[Lit], mut rng: Option<&mut SmallRng>) -> Lit {
+    match leaves.len() {
+        0 => Lit::TRUE,
+        1 => leaves[0],
+        _ => {
+            // Random split point under shuffle, midpoint otherwise.
+            let mid = match rng.as_deref_mut() {
+                Some(r) => {
+                    use rand::Rng;
+                    r.gen_range(1..leaves.len())
+                }
+                None => leaves.len() / 2,
+            };
+            let l = build_tree(g, &leaves[..mid], rng.as_deref_mut());
+            let r = build_tree(g, &leaves[mid..], rng);
+            g.and(l, r)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{kogge_stone_adder, random_aig, ripple_carry_adder};
+    use crate::sim::exhaustive_diff;
+
+    #[test]
+    fn cleanup_removes_dead_nodes() {
+        let mut g = Aig::new();
+        let x = g.add_input();
+        let y = g.add_input();
+        let used = g.and(x, y);
+        let _dead = g.and(!x, y);
+        g.add_output(used);
+        let c = g.cleanup();
+        assert_eq!(c.num_ands(), 1);
+        assert_eq!(c.num_inputs(), 2);
+        assert_eq!(exhaustive_diff(&g, &c, 8), None);
+    }
+
+    #[test]
+    fn balance_preserves_function_and_reduces_depth() {
+        let mut g = Aig::new();
+        let xs = g.add_inputs(8);
+        // Deliberately linear AND chain: depth 7.
+        let mut acc = xs[0];
+        for &x in &xs[1..] {
+            acc = g.and(acc, x);
+        }
+        g.add_output(acc);
+        assert_eq!(g.depth(), 7);
+        let b = g.balance();
+        assert_eq!(exhaustive_diff(&g, &b, 8), None);
+        assert_eq!(b.depth(), 3);
+    }
+
+    #[test]
+    fn balance_preserves_adders() {
+        for g in [ripple_carry_adder(4), kogge_stone_adder(4)] {
+            let b = g.balance();
+            b.check().unwrap();
+            assert_eq!(exhaustive_diff(&g, &b, 8), None);
+        }
+    }
+
+    #[test]
+    fn shuffle_rebuild_preserves_function() {
+        let g = ripple_carry_adder(4);
+        for seed in 0..5 {
+            let s = g.shuffle_rebuild(seed);
+            s.check().unwrap();
+            assert_eq!(exhaustive_diff(&g, &s, 8), None, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn shuffle_rebuild_changes_structure() {
+        // A wide AND tree gives the shuffler freedom to restructure.
+        let mut g = Aig::new();
+        let xs = g.add_inputs(10);
+        let all = g.and_all(&xs);
+        g.add_output(all);
+        let mut any_different = false;
+        for seed in 0..5 {
+            let s = g.shuffle_rebuild(seed);
+            assert_eq!(exhaustive_diff(&g, &s, 10), None);
+            // Compare shapes via depth or per-node fanins.
+            if s.depth() != g.depth() || s.len() != g.len() {
+                any_different = true;
+            } else {
+                let a: Vec<_> = g.iter_ands().collect();
+                let b: Vec<_> = s.iter_ands().collect();
+                if a != b {
+                    any_different = true;
+                }
+            }
+        }
+        assert!(any_different, "shuffling never changed the structure");
+    }
+
+    #[test]
+    fn shuffle_rebuild_on_random_graphs() {
+        for seed in 0..5 {
+            let g = random_aig(6, 30, 2, seed);
+            let s = g.shuffle_rebuild(seed + 100);
+            s.check().unwrap();
+            assert_eq!(exhaustive_diff(&g, &s, 8), None, "seed {seed}");
+        }
+    }
+}

@@ -1,0 +1,227 @@
+//! Bit-parallel simulation and single-pattern evaluation.
+//!
+//! Simulation is the workhorse of SAT sweeping: 64 input patterns are
+//! evaluated per machine word, and the signatures of internal nodes are
+//! used to partition nodes into candidate equivalence classes
+//! (see `cec::sim` in the core crate).
+
+use crate::{Aig, Lit, Node};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+impl Aig {
+    /// Evaluates all outputs on a single input pattern.
+    ///
+    /// `pattern[i]` is the value of input `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pattern.len() != self.num_inputs()`.
+    pub fn evaluate(&self, pattern: &[bool]) -> Vec<bool> {
+        assert_eq!(
+            pattern.len(),
+            self.num_inputs(),
+            "pattern length must equal the number of inputs"
+        );
+        let values = self.evaluate_nodes(pattern);
+        self.outputs()
+            .iter()
+            .map(|o| values[o.node().as_usize()] ^ o.is_complemented())
+            .collect()
+    }
+
+    /// Evaluates every node on a single input pattern; indexed by node id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pattern.len() != self.num_inputs()`.
+    pub fn evaluate_nodes(&self, pattern: &[bool]) -> Vec<bool> {
+        assert_eq!(pattern.len(), self.num_inputs());
+        let mut values = vec![false; self.len()];
+        for (id, node) in self.iter() {
+            values[id.as_usize()] = match *node {
+                Node::Const => false,
+                Node::Input { index } => pattern[index as usize],
+                Node::And { a, b } => {
+                    let va = values[a.node().as_usize()] ^ a.is_complemented();
+                    let vb = values[b.node().as_usize()] ^ b.is_complemented();
+                    va && vb
+                }
+            };
+        }
+        values
+    }
+
+    /// Simulates `words.len()` per-input 64-pattern words and returns the
+    /// signature of every node (indexed by node id).
+    ///
+    /// `words[i]` holds 64 values for input `i`, one per bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words.len() != self.num_inputs()`.
+    pub fn simulate_word(&self, words: &[u64]) -> Vec<u64> {
+        assert_eq!(words.len(), self.num_inputs());
+        let mut sig = vec![0u64; self.len()];
+        for (id, node) in self.iter() {
+            sig[id.as_usize()] = match *node {
+                Node::Const => 0,
+                Node::Input { index } => words[index as usize],
+                Node::And { a, b } => {
+                    let va = sig[a.node().as_usize()] ^ mask(a);
+                    let vb = sig[b.node().as_usize()] ^ mask(b);
+                    va & vb
+                }
+            };
+        }
+        sig
+    }
+
+    /// Simulates `num_words` random 64-pattern words per input and returns
+    /// the multi-word signature of every node: `sigs[node][word]`.
+    ///
+    /// Deterministic for a fixed `seed`.
+    pub fn simulate_random(&self, num_words: usize, seed: u64) -> Vec<Vec<u64>> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut sigs = vec![vec![0u64; num_words]; self.len()];
+        let mut inputs = vec![0u64; self.num_inputs()];
+        #[allow(clippy::needless_range_loop)] // parallel fill of sigs[node][w]
+        for w in 0..num_words {
+            for v in inputs.iter_mut() {
+                *v = rng.gen();
+            }
+            let word_sigs = self.simulate_word(&inputs);
+            for (node, s) in word_sigs.into_iter().enumerate() {
+                sigs[node][w] = s;
+            }
+        }
+        sigs
+    }
+
+    /// Evaluates output signatures of a multi-word simulation, applying
+    /// output complement bits: `result[output][word]`.
+    pub fn output_signatures(&self, sigs: &[Vec<u64>]) -> Vec<Vec<u64>> {
+        self.outputs()
+            .iter()
+            .map(|o| {
+                let node_sig = &sigs[o.node().as_usize()];
+                let m = if o.is_complemented() { !0u64 } else { 0 };
+                node_sig.iter().map(|w| w ^ m).collect()
+            })
+            .collect()
+    }
+}
+
+#[inline]
+fn mask(l: Lit) -> u64 {
+    if l.is_complemented() {
+        !0
+    } else {
+        0
+    }
+}
+
+/// Exhaustively compares two AIGs with identical input counts, up to
+/// `max_inputs` inputs (default use: small unit tests).
+///
+/// Returns the first differing input pattern, or `None` if the graphs are
+/// equivalent on all `2^n` patterns.
+///
+/// # Panics
+///
+/// Panics if the input or output counts differ, or if
+/// `a.num_inputs() > max_inputs` (to guard against accidental `2^n` blowup).
+pub fn exhaustive_diff(a: &Aig, b: &Aig, max_inputs: u32) -> Option<Vec<bool>> {
+    assert_eq!(a.num_inputs(), b.num_inputs(), "input counts differ");
+    assert_eq!(a.num_outputs(), b.num_outputs(), "output counts differ");
+    let n = a.num_inputs() as u32;
+    assert!(n <= max_inputs, "too many inputs for exhaustive comparison");
+    for bits in 0..(1u64 << n) {
+        let pat: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
+        if a.evaluate(&pat) != b.evaluate(&pat) {
+            return Some(pat);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)]
+mod tests {
+    use super::*;
+
+    fn xor_graph() -> Aig {
+        let mut g = Aig::new();
+        let x = g.add_input();
+        let y = g.add_input();
+        let o = g.xor(x, y);
+        g.add_output(o);
+        g
+    }
+
+    #[test]
+    fn evaluate_xor_truth_table() {
+        let g = xor_graph();
+        assert_eq!(g.evaluate(&[false, false]), vec![false]);
+        assert_eq!(g.evaluate(&[true, false]), vec![true]);
+        assert_eq!(g.evaluate(&[false, true]), vec![true]);
+        assert_eq!(g.evaluate(&[true, true]), vec![false]);
+    }
+
+    #[test]
+    #[should_panic(expected = "pattern length")]
+    fn evaluate_rejects_bad_pattern() {
+        let g = xor_graph();
+        g.evaluate(&[true]);
+    }
+
+    #[test]
+    fn word_simulation_matches_scalar() {
+        let g = xor_graph();
+        let words = vec![0b1010u64, 0b1100u64];
+        let sigs = g.simulate_word(&words);
+        let out = g.outputs()[0];
+        let out_sig = sigs[out.node().as_usize()] ^ if out.is_complemented() { !0 } else { 0 };
+        for bit in 0..4 {
+            let pat = [words[0] >> bit & 1 == 1, words[1] >> bit & 1 == 1];
+            let expect = g.evaluate(&pat)[0];
+            assert_eq!(out_sig >> bit & 1 == 1, expect, "bit {bit}");
+        }
+    }
+
+    #[test]
+    fn random_simulation_deterministic() {
+        let g = xor_graph();
+        let s1 = g.simulate_random(4, 42);
+        let s2 = g.simulate_random(4, 42);
+        let s3 = g.simulate_random(4, 43);
+        assert_eq!(s1, s2);
+        assert_ne!(s1, s3);
+    }
+
+    #[test]
+    fn output_signatures_apply_complement() {
+        let mut g = Aig::new();
+        let x = g.add_input();
+        g.add_output(x);
+        g.add_output(!x);
+        let sigs = g.simulate_random(2, 7);
+        let outs = g.output_signatures(&sigs);
+        for w in 0..2 {
+            assert_eq!(outs[0][w], !outs[1][w]);
+        }
+    }
+
+    #[test]
+    fn exhaustive_diff_finds_difference() {
+        let g1 = xor_graph();
+        let mut g2 = Aig::new();
+        let x = g2.add_input();
+        let y = g2.add_input();
+        let o = g2.or(x, y);
+        g2.add_output(o);
+        let diff = exhaustive_diff(&g1, &g2, 8).expect("xor != or");
+        assert_eq!(diff, vec![true, true]);
+        assert_eq!(exhaustive_diff(&g1, &g1.clone(), 8), None);
+    }
+}

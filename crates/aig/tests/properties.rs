@@ -1,0 +1,99 @@
+//! Property-based tests for the AIG substrate.
+
+use aig::gen::random_aig;
+use aig::sim::exhaustive_diff;
+use aig::{aiger, Aig, Lit};
+use proptest::prelude::*;
+
+fn random_graph_strategy() -> impl Strategy<Value = Aig> {
+    (2usize..8, 0usize..80, 1usize..4, any::<u64>())
+        .prop_map(|(i, g, o, s)| random_aig(i, g, o, s))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Structural invariants hold for arbitrary generated graphs.
+    #[test]
+    fn generated_graphs_are_well_formed(g in random_graph_strategy()) {
+        prop_assert!(g.check().is_ok());
+        // Levels are monotone along edges.
+        let levels = g.levels();
+        for (id, a, b) in g.iter_ands() {
+            prop_assert!(levels[id.as_usize()] > levels[a.node().as_usize()]);
+            prop_assert!(levels[id.as_usize()] > levels[b.node().as_usize()]);
+        }
+    }
+
+    /// ASCII AIGER round trips preserve the function exactly.
+    #[test]
+    fn aiger_ascii_round_trip(g in random_graph_strategy()) {
+        let mut buf = Vec::new();
+        aiger::write_ascii(&g, &mut buf).unwrap();
+        let h = aiger::read(&buf[..]).unwrap();
+        prop_assert_eq!(exhaustive_diff(&g, &h, 8), None);
+    }
+
+    /// Binary AIGER round trips preserve the function exactly.
+    #[test]
+    fn aiger_binary_round_trip(g in random_graph_strategy()) {
+        let mut buf = Vec::new();
+        aiger::write_binary(&g, &mut buf).unwrap();
+        let h = aiger::read(&buf[..]).unwrap();
+        prop_assert_eq!(exhaustive_diff(&g, &h, 8), None);
+    }
+
+    /// Cleanup, balance, and shuffle all preserve the function.
+    #[test]
+    fn rewrites_preserve_function(g in random_graph_strategy(), seed in any::<u64>()) {
+        prop_assert_eq!(exhaustive_diff(&g, &g.cleanup(), 8), None);
+        prop_assert_eq!(exhaustive_diff(&g, &g.balance(), 8), None);
+        prop_assert_eq!(exhaustive_diff(&g, &g.shuffle_rebuild(seed), 8), None);
+    }
+
+    /// Cleanup never grows the graph and is idempotent.
+    #[test]
+    fn cleanup_shrinks_and_is_idempotent(g in random_graph_strategy()) {
+        let c = g.cleanup();
+        prop_assert!(c.len() <= g.len());
+        let cc = c.cleanup();
+        prop_assert_eq!(c.len(), cc.len());
+    }
+
+    /// Word-parallel simulation agrees with scalar evaluation bit by bit.
+    #[test]
+    fn word_simulation_matches_scalar(g in random_graph_strategy(), seed in any::<u64>()) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let words: Vec<u64> = (0..g.num_inputs()).map(|_| rng.gen()).collect();
+        let sigs = g.simulate_word(&words);
+        for bit in [0usize, 17, 63] {
+            let pattern: Vec<bool> = words.iter().map(|w| w >> bit & 1 == 1).collect();
+            let values = g.evaluate_nodes(&pattern);
+            for idx in 0..g.len() {
+                prop_assert_eq!(sigs[idx] >> bit & 1 == 1, values[idx], "node {}", idx);
+            }
+        }
+    }
+
+    /// The strash invariant: and() of the same operands is referentially
+    /// identical, in any order and polarity arrangement.
+    #[test]
+    fn strash_is_canonical(seed in any::<u64>()) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let mut g = Aig::new();
+        let xs = g.add_inputs(4);
+        let mut pool: Vec<Lit> = xs.clone();
+        for _ in 0..20 {
+            let a = pool[rng.gen_range(0..pool.len())].xor_complement(rng.gen());
+            let b = pool[rng.gen_range(0..pool.len())].xor_complement(rng.gen());
+            let n1 = g.and(a, b);
+            let n2 = g.and(b, a);
+            prop_assert_eq!(n1, n2);
+            if !n1.is_const() {
+                pool.push(n1);
+            }
+        }
+    }
+}

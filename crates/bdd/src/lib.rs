@@ -1,0 +1,454 @@
+//! Reduced Ordered Binary Decision Diagrams (ROBDDs).
+//!
+//! The pre-SAT workhorse of combinational equivalence checking, built
+//! here as the *canonical-form baseline* the paper's SAT-based flow is
+//! contrasted with: two functions are equivalent iff their BDDs are the
+//! same node — no proof object is needed, but none is *available*
+//! either, and on multiplier-like functions the diagrams explode
+//! regardless of variable order. Experiment T8 measures exactly that
+//! trade-off.
+//!
+//! The implementation is a classic Shannon-expansion manager: a unique
+//! table for hash-consed nodes, a memoized `ite` operator, and a hard
+//! node limit so exponential blow-ups fail fast with
+//! [`BddOverflow`] instead of eating the machine.
+//!
+//! # Example
+//!
+//! ```
+//! use bdd::Manager;
+//!
+//! # fn main() -> Result<(), bdd::BddOverflow> {
+//! let mut m = Manager::new(1 << 20);
+//! let x = m.var(0);
+//! let y = m.var(1);
+//! let f = m.and(x, y)?;
+//! let nx = m.not(x)?;
+//! let ny = m.not(y)?;
+//! let o = m.or(nx, ny)?;
+//! let g = m.not(o)?;
+//! assert_eq!(f, g); // canonicity: same function, same node
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A reference to a BDD node (canonical: equal refs ⇔ equal functions
+/// within one [`Manager`]).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct BddRef(u32);
+
+impl BddRef {
+    /// The constant-false function.
+    pub const FALSE: BddRef = BddRef(0);
+    /// The constant-true function.
+    pub const TRUE: BddRef = BddRef(1);
+
+    /// Whether this is one of the two terminal nodes.
+    #[inline]
+    pub fn is_terminal(self) -> bool {
+        self.0 <= 1
+    }
+}
+
+/// The node limit was exceeded — the diagram blew up.
+///
+/// This is a *result*, not a failure: the baseline comparison in
+/// experiment T8 relies on detecting exactly this on multipliers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BddOverflow {
+    /// The limit that was hit.
+    pub node_limit: usize,
+}
+
+impl fmt::Display for BddOverflow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bdd node limit of {} exceeded", self.node_limit)
+    }
+}
+
+impl std::error::Error for BddOverflow {}
+
+/// A BDD manager: owns the node store, the unique table, and the
+/// operation caches. All [`BddRef`]s are relative to one manager.
+#[derive(Debug)]
+pub struct Manager {
+    nodes: Vec<(u32, BddRef, BddRef)>,
+    unique: HashMap<(u32, BddRef, BddRef), BddRef>,
+    ite_cache: HashMap<(BddRef, BddRef, BddRef), BddRef>,
+    not_cache: HashMap<BddRef, BddRef>,
+    node_limit: usize,
+}
+
+const TERMINAL_LEVEL: u32 = u32::MAX;
+
+impl Manager {
+    /// Creates a manager that refuses to grow beyond `node_limit` nodes.
+    pub fn new(node_limit: usize) -> Self {
+        Manager {
+            // Slots 0/1 are the terminals.
+            nodes: vec![
+                (TERMINAL_LEVEL, BddRef::FALSE, BddRef::FALSE),
+                (TERMINAL_LEVEL, BddRef::TRUE, BddRef::TRUE),
+            ],
+            unique: HashMap::new(),
+            ite_cache: HashMap::new(),
+            not_cache: HashMap::new(),
+            node_limit,
+        }
+    }
+
+    /// Number of live nodes (including the two terminals).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The single-variable function for decision level `level`
+    /// (smaller levels are tested first / are closer to the root).
+    pub fn var(&mut self, level: u32) -> BddRef {
+        self.mk(level, BddRef::FALSE, BddRef::TRUE)
+            .expect("a single variable never overflows")
+    }
+
+    fn mk(&mut self, level: u32, lo: BddRef, hi: BddRef) -> Result<BddRef, BddOverflow> {
+        if lo == hi {
+            return Ok(lo);
+        }
+        if let Some(&r) = self.unique.get(&(level, lo, hi)) {
+            return Ok(r);
+        }
+        if self.nodes.len() >= self.node_limit {
+            return Err(BddOverflow {
+                node_limit: self.node_limit,
+            });
+        }
+        let r = BddRef(self.nodes.len() as u32);
+        self.nodes.push((level, lo, hi));
+        self.unique.insert((level, lo, hi), r);
+        Ok(r)
+    }
+
+    #[inline]
+    fn level(&self, f: BddRef) -> u32 {
+        self.nodes[f.0 as usize].0
+    }
+
+    #[inline]
+    fn cofactors(&self, f: BddRef, level: u32) -> (BddRef, BddRef) {
+        let (l, lo, hi) = self.nodes[f.0 as usize];
+        if l == level {
+            (lo, hi)
+        } else {
+            (f, f)
+        }
+    }
+
+    /// If-then-else: the universal ROBDD operator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BddOverflow`] if the result would exceed the node limit.
+    pub fn ite(&mut self, f: BddRef, g: BddRef, h: BddRef) -> Result<BddRef, BddOverflow> {
+        // Terminal cases.
+        if f == BddRef::TRUE {
+            return Ok(g);
+        }
+        if f == BddRef::FALSE {
+            return Ok(h);
+        }
+        if g == h {
+            return Ok(g);
+        }
+        if g == BddRef::TRUE && h == BddRef::FALSE {
+            return Ok(f);
+        }
+        if let Some(&r) = self.ite_cache.get(&(f, g, h)) {
+            return Ok(r);
+        }
+        let level = self
+            .level(f)
+            .min(self.level(g))
+            .min(self.level(h));
+        let (f0, f1) = self.cofactors(f, level);
+        let (g0, g1) = self.cofactors(g, level);
+        let (h0, h1) = self.cofactors(h, level);
+        let lo = self.ite(f0, g0, h0)?;
+        let hi = self.ite(f1, g1, h1)?;
+        let r = self.mk(level, lo, hi)?;
+        self.ite_cache.insert((f, g, h), r);
+        Ok(r)
+    }
+
+    /// Conjunction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BddOverflow`] if the node limit is exceeded.
+    pub fn and(&mut self, f: BddRef, g: BddRef) -> Result<BddRef, BddOverflow> {
+        self.ite(f, g, BddRef::FALSE)
+    }
+
+    /// Disjunction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BddOverflow`] if the node limit is exceeded.
+    pub fn or(&mut self, f: BddRef, g: BddRef) -> Result<BddRef, BddOverflow> {
+        self.ite(f, BddRef::TRUE, g)
+    }
+
+    /// Exclusive or.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BddOverflow`] if the node limit is exceeded.
+    pub fn xor(&mut self, f: BddRef, g: BddRef) -> Result<BddRef, BddOverflow> {
+        let ng = self.not(g)?;
+        self.ite(f, ng, g)
+    }
+
+    /// Negation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BddOverflow`] if the node limit is exceeded.
+    pub fn not(&mut self, f: BddRef) -> Result<BddRef, BddOverflow> {
+        if f == BddRef::FALSE {
+            return Ok(BddRef::TRUE);
+        }
+        if f == BddRef::TRUE {
+            return Ok(BddRef::FALSE);
+        }
+        if let Some(&r) = self.not_cache.get(&f) {
+            return Ok(r);
+        }
+        let (level, lo, hi) = self.nodes[f.0 as usize];
+        let nlo = self.not(lo)?;
+        let nhi = self.not(hi)?;
+        let r = self.mk(level, nlo, nhi)?;
+        self.not_cache.insert(f, r);
+        self.not_cache.insert(r, f);
+        Ok(r)
+    }
+
+    /// Evaluates `f` under a total assignment (`assignment[level]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a decision level of `f` is out of range.
+    pub fn evaluate(&self, f: BddRef, assignment: &[bool]) -> bool {
+        let mut cur = f;
+        while !cur.is_terminal() {
+            let (level, lo, hi) = self.nodes[cur.0 as usize];
+            cur = if assignment[level as usize] { hi } else { lo };
+        }
+        cur == BddRef::TRUE
+    }
+
+    /// Returns one satisfying assignment of `f` as `(level, value)`
+    /// pairs along a path to TRUE, or `None` if `f` is FALSE.
+    /// Levels not on the path are unconstrained.
+    pub fn one_sat(&self, f: BddRef) -> Option<Vec<(u32, bool)>> {
+        if f == BddRef::FALSE {
+            return None;
+        }
+        let mut path = Vec::new();
+        let mut cur = f;
+        while !cur.is_terminal() {
+            let (level, lo, hi) = self.nodes[cur.0 as usize];
+            // Prefer the hi edge unless it is FALSE.
+            if hi != BddRef::FALSE {
+                path.push((level, true));
+                cur = hi;
+            } else {
+                path.push((level, false));
+                cur = lo;
+            }
+        }
+        debug_assert_eq!(cur, BddRef::TRUE);
+        Some(path)
+    }
+
+    /// Builds the BDDs of every output of `aig`.
+    ///
+    /// `ordering[i]` is the decision level assigned to primary input
+    /// `i`; it must be a permutation of `0..num_inputs`. Use
+    /// [`interleaved_ordering`] for two-operand arithmetic circuits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BddOverflow`] if any intermediate diagram exceeds the
+    /// node limit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ordering` is not a permutation of the input indices.
+    pub fn from_aig(&mut self, aig: &aig::Aig, ordering: &[u32]) -> Result<Vec<BddRef>, BddOverflow> {
+        assert_eq!(ordering.len(), aig.num_inputs(), "ordering length mismatch");
+        let mut seen = vec![false; ordering.len()];
+        for &l in ordering {
+            assert!(
+                (l as usize) < ordering.len() && !seen[l as usize],
+                "ordering must be a permutation"
+            );
+            seen[l as usize] = true;
+        }
+        let mut map: Vec<BddRef> = vec![BddRef::FALSE; aig.len()];
+        for (id, node) in aig.iter() {
+            map[id.as_usize()] = match *node {
+                aig::Node::Const => BddRef::FALSE,
+                aig::Node::Input { index } => self.var(ordering[index as usize]),
+                aig::Node::And { a, b } => {
+                    let fa = self.edge(map[a.node().as_usize()], a.is_complemented())?;
+                    let fb = self.edge(map[b.node().as_usize()], b.is_complemented())?;
+                    self.and(fa, fb)?
+                }
+            };
+        }
+        aig.outputs()
+            .iter()
+            .map(|o| self.edge(map[o.node().as_usize()], o.is_complemented()))
+            .collect()
+    }
+
+    fn edge(&mut self, f: BddRef, complemented: bool) -> Result<BddRef, BddOverflow> {
+        if complemented {
+            self.not(f)
+        } else {
+            Ok(f)
+        }
+    }
+}
+
+/// The classic interleaved variable order for two-operand `width`-bit
+/// circuits whose inputs are `a[0..w]` then `b[0..w]`:
+/// `a0 b0 a1 b1 …`. Linear-size adder BDDs need it (or its mirror);
+/// the natural order is exponential.
+pub fn interleaved_ordering(width: usize) -> Vec<u32> {
+    let mut ordering = vec![0u32; 2 * width];
+    for i in 0..width {
+        ordering[i] = 2 * i as u32; // a_i
+        ordering[width + i] = 2 * i as u32 + 1; // b_i
+    }
+    ordering
+}
+
+/// The identity (natural) variable order for `n` inputs.
+pub fn natural_ordering(n: usize) -> Vec<u32> {
+    (0..n as u32).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aig::gen;
+
+    #[test]
+    fn canonicity_of_basic_ops() {
+        let mut m = Manager::new(1000);
+        let x = m.var(0);
+        let y = m.var(1);
+        let a1 = m.and(x, y).unwrap();
+        let a2 = m.and(y, x).unwrap();
+        assert_eq!(a1, a2);
+        // De Morgan canonically.
+        let nx = m.not(x).unwrap();
+        let ny = m.not(y).unwrap();
+        let o = m.or(nx, ny).unwrap();
+        let na = m.not(a1).unwrap();
+        assert_eq!(o, na);
+        // Double negation is free.
+        assert_eq!(m.not(na).unwrap(), a1);
+    }
+
+    #[test]
+    fn evaluate_matches_semantics() {
+        let mut m = Manager::new(1000);
+        let x = m.var(0);
+        let y = m.var(1);
+        let f = m.xor(x, y).unwrap();
+        assert!(!m.evaluate(f, &[false, false]));
+        assert!(m.evaluate(f, &[true, false]));
+        assert!(m.evaluate(f, &[false, true]));
+        assert!(!m.evaluate(f, &[true, true]));
+    }
+
+    #[test]
+    fn one_sat_finds_a_model() {
+        let mut m = Manager::new(1000);
+        let x = m.var(0);
+        let y = m.var(1);
+        let ny = m.not(y).unwrap();
+        let f = m.and(x, ny).unwrap();
+        let path = m.one_sat(f).unwrap();
+        let mut assignment = [false, false];
+        for (level, value) in path {
+            assignment[level as usize] = value;
+        }
+        assert!(m.evaluate(f, &assignment));
+        assert!(m.one_sat(BddRef::FALSE).is_none());
+    }
+
+    #[test]
+    fn from_aig_matches_simulation() {
+        let g = gen::alu(3, gen::AluArch::Ripple);
+        let mut m = Manager::new(1 << 20);
+        let ordering = natural_ordering(g.num_inputs());
+        let outs = m.from_aig(&g, &ordering).unwrap();
+        for bits in 0..(1u64 << g.num_inputs()) {
+            let pattern: Vec<bool> = (0..g.num_inputs()).map(|i| bits >> i & 1 == 1).collect();
+            let expect = g.evaluate(&pattern);
+            for (o, &r) in outs.iter().enumerate() {
+                assert_eq!(m.evaluate(r, &pattern), expect[o], "output {o} bits {bits:b}");
+            }
+        }
+    }
+
+    #[test]
+    fn equivalent_circuits_share_nodes() {
+        let a = gen::ripple_carry_adder(6);
+        let b = gen::kogge_stone_adder(6);
+        let mut m = Manager::new(1 << 20);
+        let ordering = interleaved_ordering(6);
+        let oa = m.from_aig(&a, &ordering).unwrap();
+        let ob = m.from_aig(&b, &ordering).unwrap();
+        assert_eq!(oa, ob, "canonical form: same functions, same refs");
+    }
+
+    #[test]
+    fn interleaving_beats_natural_order_on_adders() {
+        let a = gen::ripple_carry_adder(10);
+        let mut m1 = Manager::new(1 << 22);
+        m1.from_aig(&a, &interleaved_ordering(10)).unwrap();
+        let mut m2 = Manager::new(1 << 22);
+        m2.from_aig(&a, &natural_ordering(20)).unwrap();
+        assert!(
+            m1.num_nodes() * 4 < m2.num_nodes(),
+            "interleaved {} vs natural {}",
+            m1.num_nodes(),
+            m2.num_nodes()
+        );
+    }
+
+    #[test]
+    fn multiplier_overflows_small_limit() {
+        let g = gen::array_multiplier(8);
+        let mut m = Manager::new(5_000);
+        let err = m
+            .from_aig(&g, &interleaved_ordering(8))
+            .expect_err("8-bit multiplier must blow a 5k-node limit");
+        assert_eq!(err.node_limit, 5_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "permutation")]
+    fn bad_ordering_rejected() {
+        let g = gen::parity_tree(3);
+        let mut m = Manager::new(1000);
+        let _ = m.from_aig(&g, &[0, 0, 2]);
+    }
+}

@@ -1,0 +1,25 @@
+//! Criterion bench behind figure F1: solve time vs adder width for
+//! both engines (the series whose crossover the figure shows).
+
+use bench::experiments::{mono_prove, sweep_prove};
+use bench::workloads;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_f1(c: &mut Criterion) {
+    let widths = [8usize, 16, 32];
+    let mut group = c.benchmark_group("f1");
+    group.sample_size(10);
+    for &w in &widths {
+        let pair = workloads::adder_scaling_pairs(&[w]).remove(0);
+        group.bench_with_input(BenchmarkId::new("sweep", w), &pair, |b, pair| {
+            b.iter(|| assert!(sweep_prove(pair).is_equivalent()))
+        });
+        group.bench_with_input(BenchmarkId::new("mono", w), &pair, |b, pair| {
+            b.iter(|| assert!(mono_prove(pair).is_equivalent()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_f1);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion bench behind figure F2: bit-parallel simulation and class
+//! construction throughput as a function of the pattern budget.
+
+use bench::workloads;
+use cec::{Miter, SimClasses};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_f2(c: &mut Criterion) {
+    let pair = workloads::adder_scaling_pairs(&[32]).remove(0);
+    let miter = Miter::build(&pair.a, &pair.b, true);
+    let mut group = c.benchmark_group("f2");
+    for words in [1usize, 4, 16, 64] {
+        group.bench_with_input(
+            BenchmarkId::new("classes/add-32", words),
+            &words,
+            |b, &words| {
+                b.iter(|| {
+                    let classes =
+                        SimClasses::from_random_simulation(&miter.graph, words, 0xC0FFEE);
+                    assert!(classes.num_classes() > 0);
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_f2);
+criterion_main!(benches);

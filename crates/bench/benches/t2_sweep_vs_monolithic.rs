@@ -1,0 +1,39 @@
+//! Criterion bench behind table T2: end-to-end solve time of the
+//! proof-producing sweeping engine vs the monolithic baseline, per
+//! workload family.
+
+use bench::experiments::{mono_prove, sweep_prove};
+use bench::workloads;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_t2(c: &mut Criterion) {
+    let pairs: Vec<_> = workloads::suite()
+        .into_iter()
+        .filter(|p| {
+            matches!(
+                p.name.as_str(),
+                "add-rca/ks-16" | "mul-arr/csa-4" | "alu-rca/ks-8" | "parity-ch/tr-32"
+            )
+        })
+        .collect();
+    let mut group = c.benchmark_group("t2");
+    group.sample_size(10);
+    for pair in &pairs {
+        group.bench_function(format!("sweep/{}", pair.name), |b| {
+            b.iter(|| {
+                let outcome = sweep_prove(pair);
+                assert!(outcome.is_equivalent());
+            })
+        });
+        group.bench_function(format!("mono/{}", pair.name), |b| {
+            b.iter(|| {
+                let outcome = mono_prove(pair);
+                assert!(outcome.is_equivalent());
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_t2);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Criterion bench behind table T3: independent checking and backward
+//! trimming of recorded refutations.
+
+use bench::experiments::sweep_prove;
+use bench::workloads;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_t3(c: &mut Criterion) {
+    let pair = workloads::adder_scaling_pairs(&[24]).remove(0);
+    let outcome = sweep_prove(&pair);
+    let cert = outcome.certificate().expect("equivalent");
+    let p = cert.proof.as_ref().expect("proof recorded").clone();
+
+    let mut group = c.benchmark_group("t3");
+    group.bench_function("check_strict/add-24", |b| {
+        b.iter(|| proof::check::check_refutation(&p).expect("checks"))
+    });
+    group.bench_function("check_rup/add-24", |b| {
+        b.iter(|| proof::check::check_rup(&p).expect("checks"))
+    });
+    group.bench_function("trim/add-24", |b| b.iter(|| proof::trim_refutation(&p)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_t3);
+criterion_main!(benches);

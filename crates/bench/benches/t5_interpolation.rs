@@ -1,0 +1,22 @@
+//! Criterion bench behind table T5: interpolant extraction from miter
+//! refutations.
+
+use bench::experiments::run_t5;
+use bench::workloads;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_t5(c: &mut Criterion) {
+    let pairs = workloads::adder_scaling_pairs(&[8]);
+    let mut group = c.benchmark_group("t5");
+    group.sample_size(10);
+    group.bench_function("interpolate/add-8", |b| {
+        b.iter(|| {
+            let rows = run_t5(&pairs);
+            assert!(rows[0].trimmed_itp_gates <= rows[0].raw_itp_gates.max(1) * 4);
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_t5);
+criterion_main!(benches);

@@ -1,0 +1,177 @@
+//! The benchmark circuit-pair suite (the substitute for the paper's
+//! industrial/academic netlists — see the substitution table in
+//! `DESIGN.md`).
+
+use aig::gen;
+use aig::Aig;
+
+/// One equivalence-checking workload: a named pair of functionally
+/// equivalent, structurally different circuits.
+#[derive(Clone, Debug)]
+pub struct Pair {
+    /// Short identifier used in tables (e.g. `add-rca/ks-16`).
+    pub name: String,
+    /// Workload family (`adder`, `mult`, `alu`, …).
+    pub family: &'static str,
+    /// First circuit.
+    pub a: Aig,
+    /// Second circuit.
+    pub b: Aig,
+}
+
+impl Pair {
+    fn new(name: impl Into<String>, family: &'static str, a: Aig, b: Aig) -> Pair {
+        Pair {
+            name: name.into(),
+            family,
+            a,
+            b,
+        }
+    }
+}
+
+/// The standard suite used by tables T1–T5.
+///
+/// Families span the classical CEC difficulty spectrum: adders
+/// (equivalence-rich, easy for sweeping), heterogeneous multipliers
+/// (equivalence-poor, near-monolithic), and control-style logic in
+/// between. Sizes are chosen so the whole suite runs in seconds.
+pub fn suite() -> Vec<Pair> {
+    let mut pairs = Vec::new();
+    for w in [8usize, 16, 32] {
+        pairs.push(Pair::new(
+            format!("add-rca/ks-{w}"),
+            "adder",
+            gen::ripple_carry_adder(w),
+            gen::kogge_stone_adder(w),
+        ));
+    }
+    pairs.push(Pair::new(
+        "add-rca/bk-32",
+        "adder",
+        gen::ripple_carry_adder(32),
+        gen::brent_kung_adder(32),
+    ));
+    pairs.push(Pair::new(
+        "add-rca/csel-32",
+        "adder",
+        gen::ripple_carry_adder(32),
+        gen::carry_select_adder(32, 4),
+    ));
+    pairs.push(Pair::new(
+        "add-rca/cskip-32",
+        "adder",
+        gen::ripple_carry_adder(32),
+        gen::carry_skip_adder(32, 4),
+    ));
+    for w in [4usize, 5, 6] {
+        pairs.push(Pair::new(
+            format!("mul-arr/csa-{w}"),
+            "mult",
+            gen::array_multiplier(w),
+            gen::carry_save_multiplier(w),
+        ));
+    }
+    for w in [8usize, 16] {
+        pairs.push(Pair::new(
+            format!("alu-rca/ks-{w}"),
+            "alu",
+            gen::alu(w, gen::AluArch::Ripple),
+            gen::alu(w, gen::AluArch::KoggeStone),
+        ));
+    }
+    pairs.push(Pair::new(
+        "shift-log/mux-16",
+        "shifter",
+        gen::barrel_shifter_log(16),
+        gen::barrel_shifter_mux(16),
+    ));
+    pairs.push(Pair::new(
+        "cmp-rip/sub-32",
+        "comparator",
+        gen::comparator_ripple(32),
+        gen::comparator_subtract(32),
+    ));
+    pairs.push(Pair::new(
+        "parity-ch/tr-32",
+        "parity",
+        gen::parity_chain(32),
+        gen::parity_tree(32),
+    ));
+    pairs.push(Pair::new(
+        "prio-ch/oh-24",
+        "encoder",
+        gen::priority_encoder_chain(24),
+        gen::priority_encoder_onehot(24),
+    ));
+    pairs.push(Pair::new(
+        "dec-flat/split-5",
+        "decoder",
+        gen::decoder_flat(5),
+        gen::decoder_split(5),
+    ));
+    pairs.push(Pair::new(
+        "pop-ser/csa-24",
+        "popcount",
+        gen::popcount_serial(24),
+        gen::popcount_csa(24),
+    ));
+    let r = gen::random_aig(16, 400, 8, 2024);
+    pairs.push(Pair::new(
+        "rewrite-rand-400",
+        "rewrite",
+        r.clone(),
+        r.shuffle_rebuild(77),
+    ));
+    pairs
+}
+
+/// Adder pairs over a width sweep (figure F1).
+pub fn adder_scaling_pairs(widths: &[usize]) -> Vec<Pair> {
+    widths
+        .iter()
+        .map(|&w| {
+            Pair::new(
+                format!("add-{w}"),
+                "adder",
+                gen::ripple_carry_adder(w),
+                gen::kogge_stone_adder(w),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aig::sim::exhaustive_diff;
+
+    #[test]
+    fn suite_is_well_formed() {
+        let pairs = suite();
+        assert!(pairs.len() >= 12);
+        for p in &pairs {
+            assert_eq!(p.a.num_inputs(), p.b.num_inputs(), "{}", p.name);
+            assert_eq!(p.a.num_outputs(), p.b.num_outputs(), "{}", p.name);
+            p.a.check().unwrap();
+            p.b.check().unwrap();
+        }
+    }
+
+    #[test]
+    fn small_suite_members_are_equivalent() {
+        for p in suite() {
+            if p.a.num_inputs() <= 10 {
+                assert_eq!(exhaustive_diff(&p.a, &p.b, 10), None, "{}", p.name);
+            }
+        }
+    }
+
+    #[test]
+    fn scaling_pairs_cover_requested_widths() {
+        let ps = adder_scaling_pairs(&[4, 8]);
+        assert_eq!(ps.len(), 2);
+        assert_eq!(ps[0].a.num_inputs(), 8);
+        assert_eq!(ps[1].a.num_inputs(), 16);
+    }
+}

@@ -1,0 +1,165 @@
+//! `rcec` — proof-producing combinational equivalence checker.
+//!
+//! ```text
+//! rcec A.aag B.aag [--monolithic] [--bdd] [--no-struct] [--no-share]
+//!      [--no-sweep] [--limit=N] [--proof=FILE] [--trim] [--check] [--quiet]
+//! ```
+//!
+//! `--bdd` uses the canonical-form ROBDD baseline: fastest on small
+//! structured circuits, but produces no proof and may answer UNDECIDED
+//! (exit 2) on diagram blow-up.
+//!
+//! Exit codes: 0 equivalent, 1 inequivalent (counterexample printed),
+//! 2 error.
+
+use cec::bdd_baseline::{prove_bdd, BddOptions, BddVerdict};
+use cec::monolithic::{prove_monolithic, MonolithicOptions};
+use cec::{CecOptions, CecOutcome, Prover};
+use cec_tools::{exit, Args};
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Write};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => ExitCode::from(code as u8),
+        Err(msg) => {
+            eprintln!("rcec: {msg}");
+            ExitCode::from(exit::ERROR as u8)
+        }
+    }
+}
+
+fn run() -> Result<i32, String> {
+    let args = Args::parse(
+        std::env::args().skip(1),
+        &[
+            "bdd",
+            "monolithic",
+            "no-struct",
+            "no-share",
+            "no-sweep",
+            "limit",
+            "proof",
+            "trim",
+            "check",
+            "quiet",
+        ],
+    )
+    .map_err(|e| e.to_string())?;
+    if args.positional.len() != 2 {
+        return Err("usage: rcec A.aag B.aag [--monolithic] [--no-struct] [--no-share] \
+                    [--no-sweep] [--limit=N] [--proof=FILE] [--trim] [--check] [--quiet]"
+            .into());
+    }
+    let quiet = args.has("quiet");
+    let read = |path: &str| -> Result<aig::Aig, String> {
+        let f = File::open(path).map_err(|e| format!("{path}: {e}"))?;
+        aig::aiger::read(BufReader::new(f)).map_err(|e| format!("{path}: {e}"))
+    };
+    let a = read(&args.positional[0])?;
+    let b = read(&args.positional[1])?;
+
+    if args.has("bdd") {
+        let verdict = prove_bdd(&a, &b, &BddOptions::default()).map_err(|e| e.to_string())?;
+        return match verdict {
+            BddVerdict::Equivalent { nodes, elapsed } => {
+                if !quiet {
+                    eprintln!("bdd: {nodes} nodes in {elapsed:?} (no proof available)");
+                }
+                println!("EQUIVALENT");
+                Ok(exit::OK)
+            }
+            BddVerdict::Inequivalent { counterexample, .. } => {
+                println!("INEQUIVALENT");
+                let bits: String = counterexample
+                    .pattern
+                    .iter()
+                    .map(|&b| if b { '1' } else { '0' })
+                    .collect();
+                println!("input  (lsb first): {bits}");
+                Ok(exit::NEGATIVE)
+            }
+            BddVerdict::Overflow(e) => Err(format!("undecided: {e}")),
+        };
+    }
+
+    let outcome = if args.has("monolithic") {
+        prove_monolithic(
+            &a,
+            &b,
+            &MonolithicOptions {
+                verify: args.has("check"),
+                ..MonolithicOptions::default()
+            },
+        )
+    } else {
+        let mut options = CecOptions {
+            verify: args.has("check"),
+            ..CecOptions::default()
+        };
+        if args.has("no-struct") {
+            options.structural_merging = false;
+        }
+        if args.has("no-share") {
+            options.share_structure = false;
+        }
+        if args.has("no-sweep") {
+            options.sweep = false;
+        }
+        if let Some(v) = args.value("limit") {
+            let limit: u64 = v.parse().map_err(|e| format!("--limit: {e}"))?;
+            options.pair_conflict_limit = Some(limit);
+        }
+        Prover::new(options).prove(&a, &b)
+    }
+    .map_err(|e| e.to_string())?;
+
+    match outcome {
+        CecOutcome::Equivalent(cert) => {
+            if !quiet {
+                eprintln!("EQUIVALENT ({})", cert.stats);
+            }
+            if let Some(path) = args.value("proof") {
+                let p = cert
+                    .proof
+                    .as_ref()
+                    .ok_or("no proof recorded (internal error)")?;
+                let trimmed;
+                let to_write = if args.has("trim") {
+                    trimmed = proof::trim_refutation(p);
+                    &trimmed.proof
+                } else {
+                    p
+                };
+                let f = File::create(path).map_err(|e| format!("{path}: {e}"))?;
+                let mut w = BufWriter::new(f);
+                proof::export::write_tracecheck(to_write, &mut w)
+                    .and_then(|()| w.flush())
+                    .map_err(|e| format!("{path}: {e}"))?;
+                if !quiet {
+                    eprintln!("proof written to {path} ({} steps)", to_write.len());
+                }
+            }
+            println!("EQUIVALENT");
+            Ok(exit::OK)
+        }
+        CecOutcome::Inequivalent {
+            counterexample, ..
+        } => {
+            println!("INEQUIVALENT");
+            let bits: String = counterexample
+                .pattern
+                .iter()
+                .map(|&b| if b { '1' } else { '0' })
+                .collect();
+            println!("input  (lsb first): {bits}");
+            let show = |o: &[bool]| -> String {
+                o.iter().map(|&b| if b { '1' } else { '0' }).collect()
+            };
+            println!("outputs A: {}", show(&counterexample.outputs_a));
+            println!("outputs B: {}", show(&counterexample.outputs_b));
+            Ok(exit::NEGATIVE)
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! `rcheck` — independent resolution proof checker for TraceCheck files.
+//!
+//! ```text
+//! rcheck FILE.trace [--rup] [--refutation] [--quiet]
+//! ```
+//!
+//! Default mode replays every chain resolution literally; `--rup`
+//! additionally cross-validates each derived clause by reverse unit
+//! propagation; `--refutation` also requires an empty clause.
+//!
+//! Exit codes: 0 accepted, 1 rejected, 2 error.
+
+use cec_tools::{exit, Args};
+use std::fs::File;
+use std::io::BufReader;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => ExitCode::from(code as u8),
+        Err(msg) => {
+            eprintln!("rcheck: {msg}");
+            ExitCode::from(exit::ERROR as u8)
+        }
+    }
+}
+
+fn run() -> Result<i32, String> {
+    let args = Args::parse(std::env::args().skip(1), &["rup", "refutation", "quiet"])
+        .map_err(|e| e.to_string())?;
+    if args.positional.len() != 1 {
+        return Err("usage: rcheck FILE.trace [--rup] [--refutation] [--quiet]".into());
+    }
+    let path = &args.positional[0];
+    let f = File::open(path).map_err(|e| format!("{path}: {e}"))?;
+    let p =
+        proof::import::read_tracecheck(BufReader::new(f)).map_err(|e| format!("{path}: {e}"))?;
+    if !args.has("quiet") {
+        eprintln!("loaded {} steps ({})", p.len(), p.stats());
+    }
+
+    let result = if args.has("refutation") {
+        proof::check::check_refutation(&p).map(|_| ())
+    } else {
+        proof::check::check_strict(&p)
+    };
+    if let Err(e) = result {
+        println!("REJECTED: {e}");
+        return Ok(exit::NEGATIVE);
+    }
+    if args.has("rup") {
+        if let Err(e) = proof::check::check_rup(&p) {
+            println!("REJECTED (rup): {e}");
+            return Ok(exit::NEGATIVE);
+        }
+    }
+    println!("ACCEPTED");
+    Ok(exit::OK)
+}

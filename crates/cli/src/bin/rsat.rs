@@ -1,0 +1,85 @@
+//! `rsat` — proof-logging CDCL SAT solver for DIMACS files.
+//!
+//! ```text
+//! rsat FILE.cnf [--proof=FILE] [--trim] [--quiet]
+//! ```
+//!
+//! Exit codes: 10 SAT (model printed in DIMACS `v` lines), 20 UNSAT,
+//! 2 error.
+
+use cec_tools::{exit, Args};
+use sat::{SolveResult, Solver};
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Write};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => ExitCode::from(code as u8),
+        Err(msg) => {
+            eprintln!("rsat: {msg}");
+            ExitCode::from(exit::ERROR as u8)
+        }
+    }
+}
+
+fn run() -> Result<i32, String> {
+    let args = Args::parse(std::env::args().skip(1), &["proof", "trim", "quiet"])
+        .map_err(|e| e.to_string())?;
+    if args.positional.len() != 1 {
+        return Err("usage: rsat FILE.cnf [--proof=FILE] [--trim] [--quiet]".into());
+    }
+    let path = &args.positional[0];
+    let f = File::open(path).map_err(|e| format!("{path}: {e}"))?;
+    let formula = cnf::dimacs::read(BufReader::new(f)).map_err(|e| format!("{path}: {e}"))?;
+
+    let mut solver = if args.value("proof").is_some() {
+        Solver::with_proof()
+    } else {
+        Solver::new()
+    };
+    solver.ensure_vars(formula.num_vars());
+    for clause in formula.clauses() {
+        solver.add_clause(clause);
+    }
+    match solver.solve() {
+        SolveResult::Unknown => unreachable!("no budget configured"),
+        SolveResult::Sat => {
+            println!("s SATISFIABLE");
+            let model = solver.model().expect("model on SAT");
+            let mut line = String::from("v");
+            for (i, &value) in model.iter().enumerate() {
+                let lit = if value { i as i64 + 1 } else { -(i as i64 + 1) };
+                line.push_str(&format!(" {lit}"));
+                if line.len() > 70 {
+                    println!("{line}");
+                    line = String::from("v");
+                }
+            }
+            println!("{line} 0");
+            Ok(exit::SAT)
+        }
+        SolveResult::Unsat => {
+            println!("s UNSATISFIABLE");
+            if let Some(out) = args.value("proof") {
+                let p = solver.proof().expect("proof logging enabled");
+                let trimmed;
+                let to_write = if args.has("trim") {
+                    trimmed = proof::trim_refutation(p);
+                    &trimmed.proof
+                } else {
+                    p
+                };
+                let f = File::create(out).map_err(|e| format!("{out}: {e}"))?;
+                let mut w = BufWriter::new(f);
+                proof::export::write_tracecheck(to_write, &mut w)
+                    .and_then(|()| w.flush())
+                    .map_err(|e| format!("{out}: {e}"))?;
+                if !args.has("quiet") {
+                    eprintln!("proof written to {out} ({} steps)", to_write.len());
+                }
+            }
+            Ok(exit::UNSAT)
+        }
+    }
+}

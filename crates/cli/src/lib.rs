@@ -1,0 +1,118 @@
+//! Shared plumbing for the command-line tools (`rcec`, `rsat`,
+//! `rcheck`): a tiny flag parser and file helpers. The binaries are thin
+//! wrappers over the library crates — all logic lives in `cec`, `sat`,
+//! and `proof`.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+
+/// Parsed command line: positional arguments and `--flag[=value]`
+/// options, in order.
+#[derive(Clone, Debug, Default)]
+pub struct Args {
+    /// Positional arguments.
+    pub positional: Vec<String>,
+    /// `--name` / `--name=value` options.
+    pub flags: Vec<(String, Option<String>)>,
+}
+
+/// Error for an unknown or malformed command line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseArgsError(pub String);
+
+impl fmt::Display for ParseArgsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ParseArgsError {}
+
+impl Args {
+    /// Parses raw arguments (without the program name), validating flag
+    /// names against `allowed`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects flags not in `allowed`.
+    pub fn parse<I: IntoIterator<Item = String>>(
+        raw: I,
+        allowed: &[&str],
+    ) -> Result<Args, ParseArgsError> {
+        let mut args = Args::default();
+        for a in raw {
+            if let Some(rest) = a.strip_prefix("--") {
+                let (name, value) = match rest.split_once('=') {
+                    Some((n, v)) => (n.to_string(), Some(v.to_string())),
+                    None => (rest.to_string(), None),
+                };
+                if !allowed.contains(&name.as_str()) {
+                    return Err(ParseArgsError(format!("unknown flag --{name}")));
+                }
+                args.flags.push((name, value));
+            } else {
+                args.positional.push(a);
+            }
+        }
+        Ok(args)
+    }
+
+    /// Whether `--name` was given.
+    pub fn has(&self, name: &str) -> bool {
+        self.flags.iter().any(|(n, _)| n == name)
+    }
+
+    /// The value of `--name=value`, if given.
+    pub fn value(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.as_deref())
+    }
+}
+
+/// Conventional exit codes shared by the tools.
+pub mod exit {
+    /// Verdict reached: equivalent / proof accepted.
+    pub const OK: i32 = 0;
+    /// Verdict reached: inequivalent / proof rejected.
+    pub const NEGATIVE: i32 = 1;
+    /// Usage or input error.
+    pub const ERROR: i32 = 2;
+    /// SAT answer (DIMACS solver convention).
+    pub const SAT: i32 = 10;
+    /// UNSAT answer (DIMACS solver convention).
+    pub const UNSAT: i32 = 20;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_positionals_and_flags() {
+        let a = Args::parse(s(&["x.aig", "--proof=out.trace", "--check", "y.aig"]),
+                            &["proof", "check"]).unwrap();
+        assert_eq!(a.positional, vec!["x.aig", "y.aig"]);
+        assert!(a.has("check"));
+        assert_eq!(a.value("proof"), Some("out.trace"));
+        assert_eq!(a.value("check"), None);
+    }
+
+    #[test]
+    fn rejects_unknown_flags() {
+        assert!(Args::parse(s(&["--bogus"]), &["proof"]).is_err());
+    }
+
+    #[test]
+    fn last_flag_value_wins() {
+        let a = Args::parse(s(&["--k=1", "--k=2"]), &["k"]).unwrap();
+        assert_eq!(a.value("k"), Some("2"));
+    }
+}

@@ -1,0 +1,240 @@
+//! End-to-end tests of the command-line tools, driving the real
+//! binaries through files and exit codes — the full third-party audit
+//! loop: `rcec` emits a proof, `rcheck` replays it.
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("cec-tools-test-{}-{name}", std::process::id()));
+    p
+}
+
+fn write_aiger(g: &aig::Aig, path: &PathBuf) {
+    let mut buf = Vec::new();
+    aig::aiger::write_ascii(g, &mut buf).unwrap();
+    fs::write(path, buf).unwrap();
+}
+
+fn run(bin: &str, args: &[&str]) -> Output {
+    Command::new(bin)
+        .args(args)
+        .output()
+        .expect("binary launches")
+}
+
+#[test]
+fn rcec_equivalent_with_checked_proof_file() {
+    let a_path = tmp("eq-a.aag");
+    let b_path = tmp("eq-b.aag");
+    let proof_path = tmp("eq.trace");
+    write_aiger(&aig::gen::ripple_carry_adder(8), &a_path);
+    write_aiger(&aig::gen::kogge_stone_adder(8), &b_path);
+
+    let out = run(
+        env!("CARGO_BIN_EXE_rcec"),
+        &[
+            a_path.to_str().unwrap(),
+            b_path.to_str().unwrap(),
+            &format!("--proof={}", proof_path.display()),
+            "--trim",
+            "--quiet",
+        ],
+    );
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("EQUIVALENT"));
+
+    // The emitted proof is independently re-checked by rcheck.
+    let out = run(
+        env!("CARGO_BIN_EXE_rcheck"),
+        &[
+            proof_path.to_str().unwrap(),
+            "--refutation",
+            "--rup",
+            "--quiet",
+        ],
+    );
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("ACCEPTED"));
+
+    for p in [a_path, b_path, proof_path] {
+        let _ = fs::remove_file(p);
+    }
+}
+
+#[test]
+fn rcec_detects_inequivalence() {
+    let golden = aig::gen::ripple_carry_adder(4);
+    let mutant = (0..40)
+        .filter_map(|s| aig::gen::mutate(&golden, s))
+        .find(|m| aig::sim::exhaustive_diff(&golden, m, 8).is_some())
+        .expect("differing mutant");
+    let a_path = tmp("ineq-a.aag");
+    let b_path = tmp("ineq-b.aag");
+    write_aiger(&golden, &a_path);
+    write_aiger(&mutant, &b_path);
+
+    let out = run(
+        env!("CARGO_BIN_EXE_rcec"),
+        &[a_path.to_str().unwrap(), b_path.to_str().unwrap(), "--quiet"],
+    );
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("INEQUIVALENT"));
+    assert!(text.contains("input"));
+
+    let _ = fs::remove_file(a_path);
+    let _ = fs::remove_file(b_path);
+}
+
+#[test]
+fn rcec_monolithic_mode_agrees() {
+    let a_path = tmp("mono-a.aag");
+    let b_path = tmp("mono-b.aag");
+    write_aiger(&aig::gen::parity_chain(8), &a_path);
+    write_aiger(&aig::gen::parity_tree(8), &b_path);
+    let out = run(
+        env!("CARGO_BIN_EXE_rcec"),
+        &[
+            a_path.to_str().unwrap(),
+            b_path.to_str().unwrap(),
+            "--monolithic",
+            "--check",
+            "--quiet",
+        ],
+    );
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let _ = fs::remove_file(a_path);
+    let _ = fs::remove_file(b_path);
+}
+
+#[test]
+fn rcec_usage_errors() {
+    let out = run(env!("CARGO_BIN_EXE_rcec"), &["only-one.aag"]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = run(env!("CARGO_BIN_EXE_rcec"), &["a", "b", "--bogus"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn rsat_sat_and_unsat_with_proof() {
+    // SAT instance.
+    let sat_path = tmp("f.cnf");
+    fs::write(&sat_path, "p cnf 2 2\n1 2 0\n-1 0\n").unwrap();
+    let out = run(env!("CARGO_BIN_EXE_rsat"), &[sat_path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(10), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("s SATISFIABLE"));
+    assert!(text.contains("v -1 2 0") || text.contains("v -1 2"), "{text}");
+
+    // UNSAT instance with proof emission, checked by rcheck.
+    let unsat_path = tmp("g.cnf");
+    let proof_path = tmp("g.trace");
+    fs::write(&unsat_path, "p cnf 2 4\n1 2 0\n1 -2 0\n-1 2 0\n-1 -2 0\n").unwrap();
+    let out = run(
+        env!("CARGO_BIN_EXE_rsat"),
+        &[
+            unsat_path.to_str().unwrap(),
+            &format!("--proof={}", proof_path.display()),
+            "--quiet",
+        ],
+    );
+    assert_eq!(out.status.code(), Some(20), "{out:?}");
+    let out = run(
+        env!("CARGO_BIN_EXE_rcheck"),
+        &[proof_path.to_str().unwrap(), "--refutation", "--quiet"],
+    );
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+
+    for p in [sat_path, unsat_path, proof_path] {
+        let _ = fs::remove_file(p);
+    }
+}
+
+#[test]
+fn rcheck_rejects_corrupted_proof() {
+    let path = tmp("bad.trace");
+    // Claims (1) from (1 2) and (-2 3): not a valid resolution.
+    fs::write(&path, "1 1 2 0 0\n2 -2 3 0 0\n3 1 0 1 2 0\n").unwrap();
+    let out = run(env!("CARGO_BIN_EXE_rcheck"), &[path.to_str().unwrap(), "--quiet"]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("REJECTED"));
+    let _ = fs::remove_file(path);
+}
+
+#[test]
+fn rcheck_requires_refutation_when_asked() {
+    let path = tmp("norefute.trace");
+    fs::write(&path, "1 1 0 0\n").unwrap();
+    let out = run(env!("CARGO_BIN_EXE_rcheck"), &[path.to_str().unwrap(), "--quiet"]);
+    assert_eq!(out.status.code(), Some(0), "plain check passes");
+    let out = run(
+        env!("CARGO_BIN_EXE_rcheck"),
+        &[path.to_str().unwrap(), "--refutation", "--quiet"],
+    );
+    assert_eq!(out.status.code(), Some(1), "refutation check fails");
+    let _ = fs::remove_file(path);
+}
+
+#[test]
+fn rfraig_reduces_and_round_trips() {
+    // Two copies of the same function, no sharing: rfraig must shrink it.
+    let base = aig::gen::ripple_carry_adder(6);
+    let shuffled = base.shuffle_rebuild(5);
+    let mut g = aig::Aig::new();
+    let inputs: Vec<aig::Lit> = (0..12).map(|_| g.add_input()).collect();
+    for src in [&base, &shuffled] {
+        let mut map = vec![aig::Lit::FALSE; src.len()];
+        for (id, node) in src.iter() {
+            match *node {
+                aig::Node::Const => {}
+                aig::Node::Input { index } => map[id.as_usize()] = inputs[index as usize],
+                aig::Node::And { a, b } => {
+                    let la = map[a.node().as_usize()].xor_complement(a.is_complemented());
+                    let lb = map[b.node().as_usize()].xor_complement(b.is_complemented());
+                    map[id.as_usize()] = g.and_unshared(la, lb);
+                }
+            }
+        }
+        for o in src.outputs() {
+            g.add_output(map[o.node().as_usize()].xor_complement(o.is_complemented()));
+        }
+    }
+    let in_path = tmp("fraig-in.aag");
+    let out_path = tmp("fraig-out.aag");
+    write_aiger(&g, &in_path);
+
+    let out = run(
+        env!("CARGO_BIN_EXE_rfraig"),
+        &[
+            in_path.to_str().unwrap(),
+            out_path.to_str().unwrap(),
+            "--verify",
+            "--quiet",
+        ],
+    );
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let reduced =
+        aig::aiger::read(std::io::BufReader::new(fs::File::open(&out_path).unwrap())).unwrap();
+    assert!(reduced.num_ands() < g.num_ands());
+    let _ = fs::remove_file(in_path);
+    let _ = fs::remove_file(out_path);
+}
+
+#[test]
+fn rcec_bdd_mode() {
+    let a_path = tmp("bdd-a.aag");
+    let b_path = tmp("bdd-b.aag");
+    write_aiger(&aig::gen::ripple_carry_adder(8), &a_path);
+    write_aiger(&aig::gen::brent_kung_adder(8), &b_path);
+    let out = run(
+        env!("CARGO_BIN_EXE_rcec"),
+        &[a_path.to_str().unwrap(), b_path.to_str().unwrap(), "--bdd", "--quiet"],
+    );
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("EQUIVALENT"));
+    let _ = fs::remove_file(a_path);
+    let _ = fs::remove_file(b_path);
+}

@@ -1,0 +1,195 @@
+//! DIMACS CNF reading and writing.
+
+use crate::{Cnf, Lit};
+use std::fmt;
+use std::io::{self, BufRead, Write};
+use std::num::NonZeroI32;
+
+/// Error produced while reading a DIMACS file.
+#[derive(Debug)]
+pub enum ParseDimacsError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The file violates the DIMACS format; the message says how.
+    Format(String),
+}
+
+impl fmt::Display for ParseDimacsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseDimacsError::Io(e) => write!(f, "i/o error reading dimacs: {e}"),
+            ParseDimacsError::Format(m) => write!(f, "invalid dimacs file: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseDimacsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ParseDimacsError::Io(e) => Some(e),
+            ParseDimacsError::Format(_) => None,
+        }
+    }
+}
+
+impl From<io::Error> for ParseDimacsError {
+    fn from(e: io::Error) -> Self {
+        ParseDimacsError::Io(e)
+    }
+}
+
+/// Writes `cnf` in DIMACS format.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `w`.
+pub fn write<W: Write>(cnf: &Cnf, mut w: W) -> io::Result<()> {
+    writeln!(w, "p cnf {} {}", cnf.num_vars(), cnf.num_clauses())?;
+    for clause in cnf.clauses() {
+        for lit in clause {
+            write!(w, "{} ", lit.to_dimacs())?;
+        }
+        writeln!(w, "0")?;
+    }
+    Ok(())
+}
+
+/// Reads a DIMACS CNF file. Comment lines (`c ...`) are ignored; the
+/// header is validated against the actual clause count.
+///
+/// # Errors
+///
+/// Returns [`ParseDimacsError`] on malformed input or I/O failure.
+pub fn read<R: BufRead>(r: R) -> Result<Cnf, ParseDimacsError> {
+    let mut declared: Option<(u32, usize)> = None;
+    let mut cnf = Cnf::new();
+    let mut current: Vec<Lit> = Vec::new();
+    for line in r.lines() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('p') {
+            if declared.is_some() {
+                return Err(ParseDimacsError::Format("duplicate header".into()));
+            }
+            let fields: Vec<&str> = rest.split_whitespace().collect();
+            if fields.len() != 3 || fields[0] != "cnf" {
+                return Err(ParseDimacsError::Format(
+                    "header must be `p cnf VARS CLAUSES`".into(),
+                ));
+            }
+            let vars: u32 = fields[1]
+                .parse()
+                .map_err(|e| ParseDimacsError::Format(format!("bad var count: {e}")))?;
+            let clauses: usize = fields[2]
+                .parse()
+                .map_err(|e| ParseDimacsError::Format(format!("bad clause count: {e}")))?;
+            declared = Some((vars, clauses));
+            cnf.reserve_vars(vars);
+            continue;
+        }
+        if declared.is_none() {
+            return Err(ParseDimacsError::Format(
+                "clause before `p cnf` header".into(),
+            ));
+        }
+        for tok in line.split_whitespace() {
+            let v: i32 = tok
+                .parse()
+                .map_err(|e| ParseDimacsError::Format(format!("bad literal `{tok}`: {e}")))?;
+            match NonZeroI32::new(v) {
+                None => {
+                    cnf.add_clause(std::mem::take(&mut current));
+                }
+                Some(nz) => current.push(Lit::from_dimacs(nz)),
+            }
+        }
+    }
+    if !current.is_empty() {
+        return Err(ParseDimacsError::Format(
+            "last clause not terminated by 0".into(),
+        ));
+    }
+    let (vars, clauses) = declared.ok_or_else(|| ParseDimacsError::Format("missing header".into()))?;
+    if cnf.num_clauses() != clauses {
+        return Err(ParseDimacsError::Format(format!(
+            "header declares {clauses} clauses, found {}",
+            cnf.num_clauses()
+        )));
+    }
+    if cnf.num_vars() > vars {
+        return Err(ParseDimacsError::Format(format!(
+            "header declares {vars} variables, literal uses {}",
+            cnf.num_vars()
+        )));
+    }
+    Ok(cnf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Var;
+
+    fn sample() -> Cnf {
+        let mut f = Cnf::new();
+        let a = Var::new(0);
+        let b = Var::new(1);
+        let c = Var::new(2);
+        f.add_clause(vec![a.positive(), b.negative()]);
+        f.add_clause(vec![c.positive()]);
+        f.add_clause(vec![a.negative(), b.positive(), c.negative()]);
+        f
+    }
+
+    #[test]
+    fn round_trip() {
+        let f = sample();
+        let mut buf = Vec::new();
+        write(&f, &mut buf).unwrap();
+        let g = read(&buf[..]).unwrap();
+        assert_eq!(f, g);
+    }
+
+    #[test]
+    fn reads_comments_and_multiline_clauses() {
+        let text = "c a comment\np cnf 3 2\n1 -2\n3 0\nc mid\n-1 2 -3 0\n";
+        let f = read(text.as_bytes()).unwrap();
+        assert_eq!(f.num_clauses(), 2);
+        assert_eq!(f.clauses()[0].len(), 3);
+    }
+
+    #[test]
+    fn rejects_missing_header() {
+        assert!(read("1 2 0\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_clause_count() {
+        assert!(read("p cnf 2 2\n1 0\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_unterminated_clause() {
+        assert!(read("p cnf 2 1\n1 2\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_variable_beyond_header() {
+        assert!(read("p cnf 1 1\n2 0\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn empty_clause_round_trips() {
+        let mut f = Cnf::new();
+        f.reserve_vars(1);
+        f.add_clause(vec![]);
+        let mut buf = Vec::new();
+        write(&f, &mut buf).unwrap();
+        let g = read(&buf[..]).unwrap();
+        assert_eq!(g.num_clauses(), 1);
+        assert!(g.clauses()[0].is_empty());
+    }
+}

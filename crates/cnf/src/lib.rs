@@ -1,0 +1,28 @@
+//! CNF formulas, Tseitin encoding of AIGs, and DIMACS I/O.
+//!
+//! This crate is the bridge between the circuit world ([`aig`]) and the
+//! SAT/proof world (`sat`, `proof`): it defines the shared [`Var`]/[`Lit`]
+//! /[`Clause`]/[`Cnf`] vocabulary, the [`tseitin`] encoder (including the
+//! partitioned [miter encoding](tseitin::encode_miter) used by the
+//! monolithic baseline and by Craig interpolation), and [`dimacs`] I/O
+//! for interoperability with external solvers and checkers.
+//!
+//! # Example
+//!
+//! ```
+//! use aig::gen::ripple_carry_adder;
+//! use cnf::tseitin::encode;
+//!
+//! let adder = ripple_carry_adder(4);
+//! let enc = encode(&adder);
+//! // One definition variable per AIG node.
+//! assert_eq!(enc.node_var.len(), adder.len());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod dimacs;
+pub mod tseitin;
+mod types;
+
+pub use types::{Clause, Cnf, Lit, Var};

@@ -1,0 +1,358 @@
+//! Tseitin encoding of AIGs into CNF.
+//!
+//! Every AIG node maps to one propositional variable; an AND node
+//! `x = a ∧ b` contributes the three definition clauses
+//! `(¬x ∨ a)`, `(¬x ∨ b)`, `(x ∨ ¬a ∨ ¬b)`. The constant node maps to a
+//! variable constrained false by a unit clause, so the encoding of *any*
+//! graph is standalone.
+
+use crate::{Clause, Cnf, Lit, Var};
+use aig::{Aig, Node};
+
+/// Result of Tseitin-encoding an AIG: the formula plus the maps needed to
+/// refer back to circuit nodes.
+#[derive(Clone, Debug)]
+pub struct Encoding {
+    /// The encoded formula (definition clauses only; nothing asserted).
+    pub cnf: Cnf,
+    /// `node_var[node.index()]` is the solver variable of that AIG node.
+    pub node_var: Vec<Var>,
+    /// Solver literal for each primary input, in input order.
+    pub input_lits: Vec<Lit>,
+    /// Solver literal for each primary output, in output order
+    /// (complement bits folded in).
+    pub output_lits: Vec<Lit>,
+}
+
+impl Encoding {
+    /// Solver literal corresponding to AIG literal `l`.
+    pub fn lit(&self, l: aig::Lit) -> Lit {
+        self.node_var[l.node().as_usize()]
+            .positive()
+            .xor_sign(l.is_complemented())
+    }
+}
+
+/// The three Tseitin definition clauses of `x = a ∧ b`.
+///
+/// # Example
+///
+/// ```
+/// use cnf::{tseitin::and_clauses, Var};
+/// let [c1, c2, c3] = and_clauses(
+///     Var::new(2).positive(),
+///     Var::new(0).positive(),
+///     Var::new(1).negative(),
+/// );
+/// assert_eq!(c1.len(), 2);
+/// assert_eq!(c3.len(), 3);
+/// ```
+pub fn and_clauses(x: Lit, a: Lit, b: Lit) -> [Clause; 3] {
+    [vec![!x, a], vec![!x, b], vec![x, !a, !b]]
+}
+
+/// Tseitin-encodes `aig`, starting variable numbering at `first_var`.
+///
+/// Variable 0 of the encoding (i.e. `first_var`) is the constant node's
+/// variable, constrained to false by a unit clause.
+pub fn encode_from(aig: &Aig, first_var: u32) -> Encoding {
+    let mut cnf = Cnf::with_vars(first_var);
+    let mut node_var = Vec::with_capacity(aig.len());
+    for _ in 0..aig.len() {
+        node_var.push(cnf.fresh_var());
+    }
+    // Constant node is false.
+    cnf.add_clause(vec![node_var[0].negative()]);
+    for (id, node) in aig.iter() {
+        if let Node::And { a, b } = *node {
+            let x = node_var[id.as_usize()].positive();
+            let la = node_var[a.node().as_usize()]
+                .positive()
+                .xor_sign(a.is_complemented());
+            let lb = node_var[b.node().as_usize()]
+                .positive()
+                .xor_sign(b.is_complemented());
+            for c in and_clauses(x, la, lb) {
+                cnf.add_clause(c);
+            }
+        }
+    }
+    let input_lits = aig
+        .inputs()
+        .iter()
+        .map(|n| node_var[n.as_usize()].positive())
+        .collect();
+    let output_lits = aig
+        .outputs()
+        .iter()
+        .map(|o| {
+            node_var[o.node().as_usize()]
+                .positive()
+                .xor_sign(o.is_complemented())
+        })
+        .collect();
+    Encoding {
+        cnf,
+        node_var,
+        input_lits,
+        output_lits,
+    }
+}
+
+/// Tseitin-encodes `aig` starting at variable 0.
+///
+/// # Example
+///
+/// ```
+/// use aig::Aig;
+/// use cnf::tseitin::encode;
+///
+/// let mut g = Aig::new();
+/// let x = g.add_input();
+/// let y = g.add_input();
+/// let n = g.and(x, y);
+/// g.add_output(n);
+///
+/// let enc = encode(&g);
+/// // 1 unit clause for the constant + 3 clauses for the AND.
+/// assert_eq!(enc.cnf.num_clauses(), 4);
+/// assert_eq!(enc.output_lits.len(), 1);
+/// ```
+pub fn encode(aig: &Aig) -> Encoding {
+    encode_from(aig, 0)
+}
+
+/// Which side of an interpolation partition a clause belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Partition {
+    /// The clause encodes (or asserts about) the first circuit.
+    A,
+    /// The clause encodes (or asserts about) the second circuit.
+    B,
+}
+
+/// A monolithic miter encoding of two circuits, ready for a single SAT
+/// call: satisfiable iff the circuits differ on some input.
+#[derive(Clone, Debug)]
+pub struct MiterEncoding {
+    /// The complete formula: both encodings, input equalities, output
+    /// difference detection, and the assertion that some output differs.
+    pub cnf: Cnf,
+    /// Encoding of the first circuit.
+    pub enc_a: Encoding,
+    /// Encoding of the second circuit.
+    pub enc_b: Encoding,
+    /// `partition[i]` labels clause `i` of [`MiterEncoding::cnf`] for
+    /// Craig interpolation (A = first circuit side).
+    pub partition: Vec<Partition>,
+    /// The shared input variables (global, one per primary input).
+    pub shared_inputs: Vec<Var>,
+}
+
+/// Builds the monolithic miter of two circuits with identical interfaces.
+///
+/// Both circuits are encoded over *separate* node variables; a shared
+/// input variable per primary input is tied to each side's input variable
+/// with equality clauses. The outputs are compared pairwise with XOR
+/// "difference" variables, and the disjunction of all differences is
+/// asserted. The formula is unsatisfiable iff the circuits are
+/// equivalent.
+///
+/// Clause partition labels put circuit A's definitions and the
+/// input-tie clauses for side A in [`Partition::A`]; everything else
+/// (circuit B, its ties, the comparison layer) in [`Partition::B`].
+///
+/// # Panics
+///
+/// Panics if input or output counts differ, or if there are no outputs.
+pub fn encode_miter(a: &Aig, b: &Aig) -> MiterEncoding {
+    assert_eq!(a.num_inputs(), b.num_inputs(), "input counts differ");
+    assert_eq!(a.num_outputs(), b.num_outputs(), "output counts differ");
+    assert!(a.num_outputs() > 0, "miter needs at least one output");
+
+    let mut cnf = Cnf::new();
+    let mut partition = Vec::new();
+
+    // Shared input variables come first.
+    let shared_inputs: Vec<Var> = (0..a.num_inputs()).map(|_| cnf.fresh_var()).collect();
+
+    let enc_a = encode_from(a, cnf.num_vars());
+    let mut push = |cnf: &mut Cnf, clause: Clause, side: Partition| {
+        cnf.add_clause(clause);
+        partition.push(side);
+    };
+    cnf.reserve_vars(enc_a.cnf.num_vars());
+    for c in enc_a.cnf.clauses() {
+        push(&mut cnf, c.clone(), Partition::A);
+    }
+    for (shared, lit) in shared_inputs.iter().zip(enc_a.input_lits.iter()) {
+        push(&mut cnf, vec![shared.negative(), *lit], Partition::A);
+        push(&mut cnf, vec![shared.positive(), !*lit], Partition::A);
+    }
+
+    let enc_b = encode_from(b, cnf.num_vars());
+    cnf.reserve_vars(enc_b.cnf.num_vars());
+    for c in enc_b.cnf.clauses() {
+        push(&mut cnf, c.clone(), Partition::B);
+    }
+    for (shared, lit) in shared_inputs.iter().zip(enc_b.input_lits.iter()) {
+        push(&mut cnf, vec![shared.negative(), *lit], Partition::B);
+        push(&mut cnf, vec![shared.positive(), !*lit], Partition::B);
+    }
+
+    // Difference detection: d_i <-> (oa_i XOR ob_i), assert OR d_i.
+    let mut diff_lits = Vec::with_capacity(a.num_outputs());
+    for (oa, ob) in enc_a.output_lits.iter().zip(enc_b.output_lits.iter()) {
+        let d = cnf.fresh_var().positive();
+        // d -> (oa != ob):  (¬d ∨ oa ∨ ob) (¬d ∨ ¬oa ∨ ¬ob)
+        push(&mut cnf, vec![!d, *oa, *ob], Partition::B);
+        push(&mut cnf, vec![!d, !*oa, !*ob], Partition::B);
+        // (oa != ob) -> d:  (d ∨ ¬oa ∨ ob) (d ∨ oa ∨ ¬ob)
+        push(&mut cnf, vec![d, !*oa, *ob], Partition::B);
+        push(&mut cnf, vec![d, *oa, !*ob], Partition::B);
+        diff_lits.push(d);
+    }
+    push(&mut cnf, diff_lits, Partition::B);
+
+    MiterEncoding {
+        cnf,
+        enc_a,
+        enc_b,
+        partition,
+        shared_inputs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aig::gen::{kogge_stone_adder, mutate, ripple_carry_adder};
+
+    /// Brute-force SAT check for tiny formulas.
+    fn brute_sat(cnf: &Cnf) -> Option<Vec<bool>> {
+        let n = cnf.num_vars();
+        assert!(n <= 24, "formula too large for brute force");
+        for bits in 0..(1u64 << n) {
+            let assignment: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
+            if cnf.evaluate(&assignment) {
+                return Some(assignment);
+            }
+        }
+        None
+    }
+
+    #[test]
+    fn encode_respects_and_semantics() {
+        let mut g = Aig::new();
+        let x = g.add_input();
+        let y = g.add_input();
+        let n = g.and(x, !y);
+        g.add_output(n);
+        let enc = encode(&g);
+        // Forcing output true must force x=1, y=0.
+        let mut f = enc.cnf.clone();
+        f.add_clause(vec![enc.output_lits[0]]);
+        let model = brute_sat(&f).expect("satisfiable");
+        assert!(model[enc.input_lits[0].var().as_usize()]);
+        assert!(!model[enc.input_lits[1].var().as_usize()]);
+    }
+
+    #[test]
+    fn encoding_lit_maps_complements() {
+        let mut g = Aig::new();
+        let x = g.add_input();
+        g.add_output(!x);
+        let enc = encode(&g);
+        assert_eq!(enc.lit(x), enc.input_lits[0]);
+        assert_eq!(enc.lit(!x), !enc.input_lits[0]);
+        assert_eq!(enc.output_lits[0], !enc.input_lits[0]);
+    }
+
+    /// Builds the unique assignment of the miter formula forced by the
+    /// Tseitin definitions for a given input pattern.
+    fn forced_assignment(m: &MiterEncoding, a: &Aig, b: &Aig, pattern: &[bool]) -> Vec<bool> {
+        let mut assignment = vec![false; m.cnf.num_vars() as usize];
+        for (v, &bit) in m.shared_inputs.iter().zip(pattern) {
+            assignment[v.as_usize()] = bit;
+        }
+        for (enc, g) in [(&m.enc_a, a), (&m.enc_b, b)] {
+            let values = g.evaluate_nodes(pattern);
+            for (node, var) in enc.node_var.iter().enumerate() {
+                assignment[var.as_usize()] = values[node];
+            }
+        }
+        // Difference variables follow the two output literals.
+        let first_diff = m
+            .enc_b
+            .cnf
+            .num_vars();
+        for (i, (oa, ob)) in m
+            .enc_a
+            .output_lits
+            .iter()
+            .zip(m.enc_b.output_lits.iter())
+            .enumerate()
+        {
+            let va = assignment[oa.var().as_usize()] ^ oa.is_negative();
+            let vb = assignment[ob.var().as_usize()] ^ ob.is_negative();
+            assignment[first_diff as usize + i] = va != vb;
+        }
+        assignment
+    }
+
+    /// The miter formula is satisfiable iff some input pattern's forced
+    /// assignment satisfies it (the Tseitin definitions pin every other
+    /// variable). Returns the witness pattern.
+    fn miter_sat(m: &MiterEncoding, a: &Aig, b: &Aig) -> Option<Vec<bool>> {
+        let n = a.num_inputs();
+        assert!(n <= 16);
+        for bits in 0..(1u64 << n) {
+            let pattern: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
+            if m.cnf.evaluate(&forced_assignment(m, a, b, &pattern)) {
+                return Some(pattern);
+            }
+        }
+        None
+    }
+
+    #[test]
+    fn miter_of_equivalent_circuits_is_unsat() {
+        let a = ripple_carry_adder(2);
+        let b = kogge_stone_adder(2);
+        let m = encode_miter(&a, &b);
+        assert!(miter_sat(&m, &a, &b).is_none());
+        assert_eq!(m.partition.len(), m.cnf.num_clauses());
+    }
+
+    #[test]
+    fn miter_of_inequivalent_circuits_is_sat() {
+        let a = ripple_carry_adder(2);
+        // Find a mutant that actually differs.
+        let b = (0..20)
+            .filter_map(|s| mutate(&a, s))
+            .find(|m| aig::sim::exhaustive_diff(&a, m, 8).is_some())
+            .expect("some mutant differs");
+        let m = encode_miter(&a, &b);
+        let pattern = miter_sat(&m, &a, &b).expect("miter satisfiable");
+        assert_ne!(a.evaluate(&pattern), b.evaluate(&pattern));
+    }
+
+    #[test]
+    #[should_panic(expected = "input counts differ")]
+    fn miter_rejects_mismatched_interfaces() {
+        let a = ripple_carry_adder(2);
+        let b = ripple_carry_adder(3);
+        encode_miter(&a, &b);
+    }
+
+    #[test]
+    fn partition_sides_cover_both_circuits() {
+        let a = ripple_carry_adder(2);
+        let b = kogge_stone_adder(2);
+        let m = encode_miter(&a, &b);
+        let na = m.partition.iter().filter(|p| **p == Partition::A).count();
+        let nb = m.partition.iter().filter(|p| **p == Partition::B).count();
+        assert!(na > 0 && nb > 0);
+        assert_eq!(na + nb, m.cnf.num_clauses());
+    }
+}

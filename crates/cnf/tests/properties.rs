@@ -1,0 +1,72 @@
+//! Property-based tests for CNF types, DIMACS, and Tseitin encoding.
+
+use cnf::{dimacs, tseitin, Clause, Cnf, Lit, Var};
+use proptest::prelude::*;
+
+fn clause_strategy(num_vars: u32) -> impl Strategy<Value = Clause> {
+    prop::collection::vec((0..num_vars, any::<bool>()), 0..6)
+        .prop_map(|lits| lits.into_iter().map(|(v, s)| Var::new(v).lit(s)).collect())
+}
+
+fn cnf_strategy() -> impl Strategy<Value = Cnf> {
+    (1u32..12).prop_flat_map(|nv| {
+        prop::collection::vec(clause_strategy(nv), 0..30).prop_map(move |clauses| {
+            let mut f = Cnf::with_vars(nv);
+            f.extend(clauses);
+            f
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    /// DIMACS write/read is the identity on formulas.
+    #[test]
+    fn dimacs_round_trip(f in cnf_strategy()) {
+        let mut buf = Vec::new();
+        dimacs::write(&f, &mut buf).unwrap();
+        let g = dimacs::read(&buf[..]).unwrap();
+        prop_assert_eq!(f.clauses(), g.clauses());
+        prop_assert!(g.num_vars() <= f.num_vars());
+    }
+
+    /// Literal code / DIMACS integer conversions are mutually inverse.
+    #[test]
+    fn literal_encodings_round_trip(v in 0u32..1_000_000, neg in any::<bool>()) {
+        let l = Var::new(v).lit(neg);
+        prop_assert_eq!(Lit::from_code(l.code()), l);
+        let d = l.to_dimacs();
+        prop_assert_eq!(Lit::from_dimacs(std::num::NonZeroI32::new(d).unwrap()), l);
+        prop_assert_eq!(!!l, l);
+        prop_assert_eq!((!l).var(), l.var());
+    }
+
+    /// The Tseitin encoding of a random circuit is satisfied exactly by
+    /// assignments that follow the circuit's evaluation.
+    #[test]
+    fn tseitin_is_functionally_faithful(
+        inputs in 1usize..6,
+        gates in 0usize..40,
+        seed in any::<u64>(),
+        pattern_bits in any::<u64>(),
+    ) {
+        let g = aig::gen::random_aig(inputs, gates, 1, seed);
+        let enc = tseitin::encode(&g);
+        let pattern: Vec<bool> = (0..inputs).map(|i| pattern_bits >> i & 1 == 1).collect();
+        let values = g.evaluate_nodes(&pattern);
+        let mut assignment = vec![false; enc.cnf.num_vars() as usize];
+        for (node, var) in enc.node_var.iter().enumerate() {
+            assignment[var.as_usize()] = values[node];
+        }
+        // The induced assignment satisfies every definition clause.
+        prop_assert!(enc.cnf.evaluate(&assignment));
+        // Flipping any single non-input gate variable breaks it.
+        for (id, _, _) in g.iter_ands() {
+            let var = enc.node_var[id.as_usize()];
+            assignment[var.as_usize()] = !assignment[var.as_usize()];
+            prop_assert!(!enc.cnf.evaluate(&assignment), "flip of {var:?} undetected");
+            assignment[var.as_usize()] = !assignment[var.as_usize()];
+        }
+    }
+}

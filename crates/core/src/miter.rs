@@ -1,0 +1,177 @@
+//! Miter construction: both circuits in one AIG over shared inputs.
+
+use aig::{Aig, Lit, Node};
+
+/// The combined miter graph of two circuits.
+///
+/// Both circuits are rebuilt into a single AIG over shared primary
+/// inputs. With `share = true` the AIG's structural hashing is applied
+/// across the two circuits, so syntactically identical logic is merged
+/// for free — the cheapest form of equivalence reasoning, and the
+/// baseline the paper's structural-merge proofs extend. With
+/// `share = false` every gate of the second circuit gets a private node
+/// (the ablation mode of experiment T4).
+///
+/// The difference logic (`XOR` per output pair, `OR` over all pairs) is
+/// part of the same graph; [`Miter::output`] is true iff some output
+/// pair differs.
+#[derive(Clone, Debug)]
+pub struct Miter {
+    /// The combined graph: inputs, circuit A, circuit B, difference logic.
+    pub graph: Aig,
+    /// Literal (in [`Miter::graph`]) of each output of circuit A.
+    pub outputs_a: Vec<Lit>,
+    /// Literal of each output of circuit B.
+    pub outputs_b: Vec<Lit>,
+    /// The single difference output: true iff the circuits differ on the
+    /// applied input pattern.
+    pub output: Lit,
+    /// Number of nodes that belong to the two circuit cones (everything
+    /// before the difference logic was appended).
+    pub circuit_nodes: usize,
+    /// First node index holding circuit B logic. Nodes in
+    /// `a_boundary..circuit_nodes` were created while copying circuit B;
+    /// with `share = false` they belong *exclusively* to B, which is what
+    /// Craig interpolation over the sweeping proof needs. With sharing
+    /// enabled, a node below the boundary may be reused by B.
+    pub a_boundary: usize,
+}
+
+impl Miter {
+    /// Builds the miter of two interface-compatible circuits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if input or output counts differ or there are no outputs.
+    pub fn build(a: &Aig, b: &Aig, share: bool) -> Miter {
+        assert_eq!(a.num_inputs(), b.num_inputs(), "input counts differ");
+        assert_eq!(a.num_outputs(), b.num_outputs(), "output counts differ");
+        assert!(a.num_outputs() > 0, "miter needs at least one output");
+
+        let mut g = Aig::with_capacity(a.len() + b.len());
+        let inputs: Vec<Lit> = (0..a.num_inputs()).map(|_| g.add_input()).collect();
+        let outputs_a = copy_circuit(&mut g, a, &inputs, true);
+        let a_boundary = g.len();
+        let outputs_b = copy_circuit(&mut g, b, &inputs, share);
+        let circuit_nodes = g.len();
+
+        let mut diffs = Vec::with_capacity(outputs_a.len());
+        for (&oa, &ob) in outputs_a.iter().zip(outputs_b.iter()) {
+            diffs.push(g.xor(oa, ob));
+        }
+        let output = g.or_all(&diffs);
+        g.add_output(output);
+
+        Miter {
+            graph: g,
+            outputs_a,
+            outputs_b,
+            output,
+            circuit_nodes,
+            a_boundary,
+        }
+    }
+
+    /// Evaluates both circuits on `pattern` via the miter graph and
+    /// returns `(outputs_a, outputs_b, differ)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pattern length does not match the input count.
+    pub fn evaluate(&self, pattern: &[bool]) -> (Vec<bool>, Vec<bool>, bool) {
+        let values = self.graph.evaluate_nodes(pattern);
+        let read = |l: Lit| values[l.node().as_usize()] ^ l.is_complemented();
+        (
+            self.outputs_a.iter().copied().map(read).collect(),
+            self.outputs_b.iter().copied().map(read).collect(),
+            read(self.output),
+        )
+    }
+}
+
+/// Copies `src` into `dst` over the given input literals; `share`
+/// controls whether structural hashing may merge with existing nodes.
+fn copy_circuit(dst: &mut Aig, src: &Aig, inputs: &[Lit], share: bool) -> Vec<Lit> {
+    let mut map = vec![Lit::FALSE; src.len()];
+    for (id, node) in src.iter() {
+        match *node {
+            Node::Const => {}
+            Node::Input { index } => map[id.as_usize()] = inputs[index as usize],
+            Node::And { a, b } => {
+                let la = map[a.node().as_usize()].xor_complement(a.is_complemented());
+                let lb = map[b.node().as_usize()].xor_complement(b.is_complemented());
+                map[id.as_usize()] = if share {
+                    dst.and(la, lb)
+                } else {
+                    dst.and_unshared(la, lb)
+                };
+            }
+        }
+    }
+    src.outputs()
+        .iter()
+        .map(|o| map[o.node().as_usize()].xor_complement(o.is_complemented()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aig::gen::{kogge_stone_adder, mutate, ripple_carry_adder};
+
+    #[test]
+    fn miter_of_equal_circuits_is_constant_false() {
+        let a = ripple_carry_adder(3);
+        let m = Miter::build(&a, &a.clone(), true);
+        // Identical circuits share everything: difference folds to FALSE.
+        assert_eq!(m.output, Lit::FALSE);
+    }
+
+    #[test]
+    fn shared_miter_is_smaller_than_unshared() {
+        let a = ripple_carry_adder(4);
+        let b = ripple_carry_adder(4);
+        let shared = Miter::build(&a, &b, true);
+        let unshared = Miter::build(&a, &b, false);
+        assert!(shared.graph.len() < unshared.graph.len());
+        unshared.graph.check().unwrap();
+    }
+
+    #[test]
+    fn miter_detects_differences() {
+        let a = ripple_carry_adder(3);
+        let b = (0..20)
+            .filter_map(|s| mutate(&a, s))
+            .find(|m| aig::sim::exhaustive_diff(&a, m, 8).is_some())
+            .expect("a differing mutant exists");
+        let m = Miter::build(&a, &b, true);
+        let pattern = aig::sim::exhaustive_diff(&a, &b, 8).unwrap();
+        let (oa, ob, differ) = m.evaluate(&pattern);
+        assert!(differ);
+        assert_ne!(oa, ob);
+        assert_eq!(oa, a.evaluate(&pattern));
+        assert_eq!(ob, b.evaluate(&pattern));
+    }
+
+    #[test]
+    fn miter_output_false_on_agreeing_pattern() {
+        let a = ripple_carry_adder(2);
+        let b = kogge_stone_adder(2);
+        let m = Miter::build(&a, &b, true);
+        for bits in 0..16u32 {
+            let pat: Vec<bool> = (0..4).map(|i| bits >> i & 1 == 1).collect();
+            let (oa, ob, differ) = m.evaluate(&pat);
+            assert_eq!(oa, ob);
+            assert!(!differ);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "output counts differ")]
+    fn rejects_interface_mismatch() {
+        let mut a = ripple_carry_adder(2);
+        let b = ripple_carry_adder(2);
+        a.add_output(Lit::TRUE);
+        Miter::build(&a, &b, true);
+    }
+}

@@ -1,0 +1,557 @@
+//! Independent proof checkers.
+//!
+//! Two checkers with different trust profiles:
+//!
+//! - [`check_strict`]: verifies every derived step by *replaying the
+//!   recorded chain resolution literally* — the strongest audit, needing
+//!   no search at all (the paper's "simple proof checker").
+//! - [`check_rup`]: verifies every derived step by reverse unit
+//!   propagation over the earlier clauses, ignoring the recorded
+//!   antecedents (DRUP-style). Useful for cross-validating proofs whose
+//!   chains were produced by a different tool.
+//!
+//! Both reject ill-formed proofs (forward references, unknown steps).
+
+use crate::{ClauseId, Proof};
+use cnf::Lit;
+use std::fmt;
+
+/// Why a proof was rejected.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CheckError {
+    /// A derived step has no antecedents.
+    NoAntecedents(ClauseId),
+    /// An antecedent id does not precede the step using it.
+    ForwardReference {
+        /// The offending step.
+        step: ClauseId,
+        /// The antecedent that is not strictly earlier.
+        antecedent: ClauseId,
+    },
+    /// An antecedent clause is tautological (contains `x` and `¬x`),
+    /// which the chain checker does not admit.
+    TautologicalAntecedent(ClauseId),
+    /// Resolving in an antecedent found no clashing literal.
+    NoPivot {
+        /// The step being checked.
+        step: ClauseId,
+        /// Position in the antecedent chain (1-based).
+        position: usize,
+    },
+    /// Resolving in an antecedent found more than one clashing variable.
+    MultiplePivots {
+        /// The step being checked.
+        step: ClauseId,
+        /// Position in the antecedent chain (1-based).
+        position: usize,
+    },
+    /// The chain's final resolvent contains a literal missing from the
+    /// recorded clause (the recorded clause may be weaker, never
+    /// stronger).
+    ResolventNotSubsumed {
+        /// The step being checked.
+        step: ClauseId,
+        /// A literal of the resolvent absent from the recorded clause.
+        missing: Lit,
+    },
+    /// A clause failed reverse-unit-propagation checking.
+    RupFailed(ClauseId),
+    /// The proof claims a refutation but has no empty clause.
+    NoRefutation,
+}
+
+impl fmt::Display for CheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckError::NoAntecedents(s) => write!(f, "derived step {s} has no antecedents"),
+            CheckError::ForwardReference { step, antecedent } => {
+                write!(f, "step {step} references non-earlier step {antecedent}")
+            }
+            CheckError::TautologicalAntecedent(s) => {
+                write!(f, "antecedent {s} is tautological")
+            }
+            CheckError::NoPivot { step, position } => {
+                write!(f, "step {step}: no pivot at chain position {position}")
+            }
+            CheckError::MultiplePivots { step, position } => {
+                write!(f, "step {step}: multiple pivots at chain position {position}")
+            }
+            CheckError::ResolventNotSubsumed { step, missing } => {
+                write!(f, "step {step}: resolvent literal {missing} not in recorded clause")
+            }
+            CheckError::RupFailed(s) => write!(f, "step {s} is not a RUP consequence"),
+            CheckError::NoRefutation => write!(f, "proof contains no empty clause"),
+        }
+    }
+}
+
+impl std::error::Error for CheckError {}
+
+/// Checks every derived step by strict chain resolution.
+///
+/// For a step with antecedents `a₀ … aₖ`, the checker starts from
+/// `clause(a₀)` and resolves each `clause(aᵢ)` in turn; each resolution
+/// must have exactly one clashing variable. The final resolvent must be
+/// a subset of (i.e. subsume) the recorded clause — recording a weaker
+/// clause is sound and occasionally convenient.
+///
+/// # Errors
+///
+/// Returns the first violation found, identifying the step.
+pub fn check_strict(proof: &Proof) -> Result<(), CheckError> {
+    let num_vars = max_var(proof) + 1;
+    // 0 = absent, 1 = positive, 2 = negative.
+    let mut mark = vec![0u8; num_vars];
+    let mut touched: Vec<u32> = Vec::new();
+
+    for (id, step) in proof.iter() {
+        if step.is_original() {
+            continue;
+        }
+        let ants = step.antecedents;
+        for &a in ants {
+            if a.index() >= id.index() {
+                return Err(CheckError::ForwardReference {
+                    step: id,
+                    antecedent: a,
+                });
+            }
+        }
+
+        // Initialize the running resolvent from the first antecedent.
+        let first = proof.clause(ants[0]);
+        for &l in first {
+            let v = l.var().as_usize();
+            let m = if l.is_negative() { 2 } else { 1 };
+            if mark[v] != 0 && mark[v] != m {
+                clear(&mut mark, &mut touched);
+                return Err(CheckError::TautologicalAntecedent(ants[0]));
+            }
+            if mark[v] == 0 {
+                touched.push(l.var().index());
+            }
+            mark[v] = m;
+        }
+
+        let mut ok = Ok(());
+        'chain: for (pos, &a) in ants.iter().enumerate().skip(1) {
+            let clause = proof.clause(a);
+            // Find the unique clashing variable.
+            let mut pivot: Option<Lit> = None;
+            for &l in clause {
+                let v = l.var().as_usize();
+                let m = if l.is_negative() { 2 } else { 1 };
+                if mark[v] != 0 && mark[v] != m {
+                    if pivot.is_some() {
+                        ok = Err(CheckError::MultiplePivots {
+                            step: id,
+                            position: pos,
+                        });
+                        break 'chain;
+                    }
+                    pivot = Some(l);
+                }
+            }
+            let Some(pivot) = pivot else {
+                ok = Err(CheckError::NoPivot {
+                    step: id,
+                    position: pos,
+                });
+                break 'chain;
+            };
+            // Remove the clashing literal, add the rest.
+            mark[pivot.var().as_usize()] = 0;
+            for &l in clause {
+                if l == pivot {
+                    continue;
+                }
+                let v = l.var().as_usize();
+                let m = if l.is_negative() { 2 } else { 1 };
+                debug_assert!(mark[v] == 0 || mark[v] == m);
+                if mark[v] == 0 {
+                    touched.push(l.var().index());
+                }
+                mark[v] = m;
+            }
+        }
+
+        if ok.is_ok() {
+            // The resolvent must be contained in the recorded clause.
+            'subsume: for &v in &touched {
+                let m = mark[v as usize];
+                if m == 0 {
+                    continue; // was a pivot, removed
+                }
+                let lit = cnf::Var::new(v).lit(m == 2);
+                if step.clause.binary_search(&lit).is_err() {
+                    ok = Err(CheckError::ResolventNotSubsumed {
+                        step: id,
+                        missing: lit,
+                    });
+                    break 'subsume;
+                }
+            }
+        }
+
+        clear(&mut mark, &mut touched);
+        ok?;
+    }
+    Ok(())
+}
+
+/// Checks that the proof is a *refutation*: it passes [`check_strict`]
+/// and contains the empty clause.
+///
+/// # Errors
+///
+/// Returns [`CheckError::NoRefutation`] if no empty clause is present,
+/// or the first chain-resolution violation.
+pub fn check_refutation(proof: &Proof) -> Result<ClauseId, CheckError> {
+    check_strict(proof)?;
+    proof.empty_clause().ok_or(CheckError::NoRefutation)
+}
+
+fn clear(mark: &mut [u8], touched: &mut Vec<u32>) {
+    for v in touched.drain(..) {
+        mark[v as usize] = 0;
+    }
+}
+
+fn max_var(proof: &Proof) -> usize {
+    proof
+        .iter()
+        .flat_map(|(_, s)| s.clause.iter().map(|l| l.var().as_usize()))
+        .max()
+        .unwrap_or(0)
+}
+
+/// Checks every derived clause by reverse unit propagation (RUP) over
+/// *all* earlier clauses, ignoring the recorded antecedent chains.
+///
+/// A clause `C` is a RUP consequence if asserting `¬C` and propagating
+/// units over the earlier clauses yields a conflict. Every chain
+/// resolvent is a RUP consequence, so any proof accepted by
+/// [`check_strict`] is accepted here too; the converse does not hold.
+///
+/// # Errors
+///
+/// Returns the first step that is not a RUP consequence, or a
+/// structural error.
+pub fn check_rup(proof: &Proof) -> Result<(), CheckError> {
+    let num_vars = max_var(proof) + 1;
+    let mut prop = Propagator::new(num_vars);
+    for (id, step) in proof.iter() {
+        if !step.is_original() {
+            if step.antecedents.iter().any(|a| a.index() >= id.index()) {
+                return Err(CheckError::ForwardReference {
+                    step: id,
+                    antecedent: *step
+                        .antecedents
+                        .iter()
+                        .find(|a| a.index() >= id.index())
+                        .expect("checked any"),
+                });
+            }
+            if !prop.rup(step.clause) {
+                return Err(CheckError::RupFailed(id));
+            }
+        }
+        prop.add_clause(step.clause);
+    }
+    Ok(())
+}
+
+/// A minimal unit propagator over an append-only clause set, using
+/// counter-based propagation (no decisions, assumptions only).
+struct Propagator {
+    // Clause arena.
+    lits: Vec<Lit>,
+    clauses: Vec<(u32, u32)>,
+    // occurrences[lit.code()] = clause indices containing lit.
+    occurrences: Vec<Vec<u32>>,
+    // 0 unassigned, 1 true, 2 false (per variable).
+    value: Vec<u8>,
+    trail: Vec<Lit>,
+    // Per clause: number of literals currently assigned false.
+    false_count: Vec<u32>,
+    // Clause indices whose false_count was bumped in the current rup call.
+    bumped: Vec<u32>,
+    // Units among the original clauses, to seed each propagation.
+    base_units: Vec<Lit>,
+    has_empty: bool,
+}
+
+impl Propagator {
+    fn new(num_vars: usize) -> Self {
+        Propagator {
+            lits: Vec::new(),
+            clauses: Vec::new(),
+            occurrences: vec![Vec::new(); 2 * num_vars],
+            value: vec![0; num_vars],
+            trail: Vec::new(),
+            false_count: Vec::new(),
+            bumped: Vec::new(),
+            base_units: Vec::new(),
+            has_empty: false,
+        }
+    }
+
+    fn add_clause(&mut self, clause: &[Lit]) {
+        let idx = self.clauses.len() as u32;
+        let l0 = self.lits.len() as u32;
+        self.lits.extend_from_slice(clause);
+        self.clauses.push((l0, self.lits.len() as u32));
+        self.false_count.push(0);
+        for &l in clause {
+            self.occurrences[l.code() as usize].push(idx);
+        }
+        match clause.len() {
+            0 => self.has_empty = true,
+            1 => self.base_units.push(clause[0]),
+            _ => {}
+        }
+    }
+
+    fn lit_value(&self, l: Lit) -> u8 {
+        let v = self.value[l.var().as_usize()];
+        if v == 0 {
+            0
+        } else if (v == 1) != l.is_negative() {
+            1
+        } else {
+            2
+        }
+    }
+
+    /// Returns true if asserting the negation of `clause` propagates to
+    /// a conflict. Leaves the propagator clean.
+    fn rup(&mut self, clause: &[Lit]) -> bool {
+        if self.has_empty {
+            return true;
+        }
+        debug_assert!(self.trail.is_empty());
+        let mut conflict = false;
+        let mut queue: Vec<Lit> = Vec::new();
+        for &l in clause {
+            queue.push(!l);
+        }
+        queue.extend(self.base_units.iter().copied());
+
+        let mut qi = 0;
+        'outer: while qi < queue.len() {
+            let l = queue[qi];
+            qi += 1;
+            match self.lit_value(l) {
+                1 => continue,
+                2 => {
+                    conflict = true;
+                    break 'outer;
+                }
+                _ => {}
+            }
+            self.value[l.var().as_usize()] = if l.is_negative() { 2 } else { 1 };
+            self.trail.push(l);
+            // The falsified occurrences of ¬l may become unit or empty.
+            let watch = std::mem::take(&mut self.occurrences[(!l).code() as usize]);
+            for &ci in &watch {
+                self.false_count[ci as usize] += 1;
+                self.bumped.push(ci);
+                let (c0, c1) = self.clauses[ci as usize];
+                let len = c1 - c0;
+                if self.false_count[ci as usize] + 1 > len {
+                    // All false? Only if not satisfied.
+                    let body = &self.lits[c0 as usize..c1 as usize];
+                    if body.iter().all(|&x| self.lit_value(x) == 2) {
+                        self.occurrences[(!l).code() as usize] = watch;
+                        conflict = true;
+                        break 'outer;
+                    }
+                } else if self.false_count[ci as usize] + 1 == len {
+                    // Possibly unit: find the sole non-false literal.
+                    let body = &self.lits[c0 as usize..c1 as usize];
+                    let mut unit = None;
+                    let mut satisfied = false;
+                    for &x in body {
+                        match self.lit_value(x) {
+                            1 => {
+                                satisfied = true;
+                                break;
+                            }
+                            0 => unit = Some(x),
+                            _ => {}
+                        }
+                    }
+                    if !satisfied {
+                        match unit {
+                            Some(u) => queue.push(u),
+                            None => {
+                                self.occurrences[(!l).code() as usize] = watch;
+                                conflict = true;
+                                break 'outer;
+                            }
+                        }
+                    }
+                }
+            }
+            self.occurrences[(!l).code() as usize] = watch;
+        }
+
+        // Undo.
+        for l in self.trail.drain(..) {
+            self.value[l.var().as_usize()] = 0;
+        }
+        for ci in self.bumped.drain(..) {
+            self.false_count[ci as usize] -= 1;
+        }
+        conflict
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnf::Var;
+
+    fn lits(xs: &[i32]) -> Vec<Lit> {
+        xs.iter()
+            .map(|&v| Var::new(v.unsigned_abs() - 1).lit(v < 0))
+            .collect()
+    }
+
+    /// The pigeonhole-free classic: (x∨y) (¬x∨y) (x∨¬y) (¬x∨¬y) refuted.
+    fn tiny_refutation() -> Proof {
+        let mut p = Proof::new();
+        let c1 = p.add_original(lits(&[1, 2]));
+        let c2 = p.add_original(lits(&[-1, 2]));
+        let c3 = p.add_original(lits(&[1, -2]));
+        let c4 = p.add_original(lits(&[-1, -2]));
+        let y = p.add_derived(lits(&[2]), [c1, c2]);
+        let ny = p.add_derived(lits(&[-2]), [c3, c4]);
+        p.add_derived([], [y, ny]);
+        p
+    }
+
+    #[test]
+    fn strict_accepts_valid_refutation() {
+        let p = tiny_refutation();
+        assert_eq!(check_strict(&p), Ok(()));
+        assert!(check_refutation(&p).is_ok());
+    }
+
+    #[test]
+    fn rup_accepts_valid_refutation() {
+        let p = tiny_refutation();
+        assert_eq!(check_rup(&p), Ok(()));
+    }
+
+    #[test]
+    fn strict_rejects_bogus_chain() {
+        let mut p = Proof::new();
+        let c1 = p.add_original(lits(&[1, 2]));
+        let c2 = p.add_original(lits(&[1, 3]));
+        // No clash between c1 and c2.
+        let bad = p.add_derived(lits(&[2, 3]), [c1, c2]);
+        assert_eq!(
+            check_strict(&p),
+            Err(CheckError::NoPivot {
+                step: bad,
+                position: 1
+            })
+        );
+    }
+
+    #[test]
+    fn strict_rejects_double_pivot() {
+        let mut p = Proof::new();
+        let c1 = p.add_original(lits(&[1, 2]));
+        let c2 = p.add_original(lits(&[-1, -2]));
+        let bad = p.add_derived([], [c1, c2]);
+        assert_eq!(
+            check_strict(&p),
+            Err(CheckError::MultiplePivots {
+                step: bad,
+                position: 1
+            })
+        );
+    }
+
+    #[test]
+    fn strict_rejects_wrong_resolvent() {
+        let mut p = Proof::new();
+        let c1 = p.add_original(lits(&[1, 2]));
+        let c2 = p.add_original(lits(&[-1, 3]));
+        // True resolvent is (2 ∨ 3); claiming (2) drops a literal.
+        let bad = p.add_derived(lits(&[2]), [c1, c2]);
+        match check_strict(&p) {
+            Err(CheckError::ResolventNotSubsumed { step, .. }) => assert_eq!(step, bad),
+            other => panic!("expected subsumption failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn strict_allows_weakened_clause() {
+        let mut p = Proof::new();
+        let c1 = p.add_original(lits(&[1, 2]));
+        let c2 = p.add_original(lits(&[-1, 3]));
+        // Recording (2 ∨ 3 ∨ 4) for resolvent (2 ∨ 3) is sound weakening.
+        p.add_derived(lits(&[2, 3, 4]), [c1, c2]);
+        assert_eq!(check_strict(&p), Ok(()));
+    }
+
+    #[test]
+    fn strict_rejects_tautological_antecedent() {
+        let mut p = Proof::new();
+        let t = p.add_original(lits(&[1, -1]));
+        let c = p.add_original(lits(&[2]));
+        p.add_derived(lits(&[2]), [t, c]);
+        assert_eq!(check_strict(&p), Err(CheckError::TautologicalAntecedent(t)));
+    }
+
+    #[test]
+    fn rup_rejects_non_consequence() {
+        let mut p = Proof::new();
+        let c1 = p.add_original(lits(&[1, 2]));
+        let bad = p.add_derived(lits(&[1]), [c1]);
+        assert_eq!(check_rup(&p), Err(CheckError::RupFailed(bad)));
+    }
+
+    #[test]
+    fn rup_accepts_chain_free_consequence() {
+        // (1)(−1 ∨ 2) ⊢ (2) by propagation even with a useless chain.
+        let mut p = Proof::new();
+        let c1 = p.add_original(lits(&[1]));
+        let c2 = p.add_original(lits(&[-1, 2]));
+        p.add_derived(lits(&[2]), [c2, c1]);
+        assert_eq!(check_rup(&p), Ok(()));
+    }
+
+    #[test]
+    fn refutation_check_requires_empty_clause() {
+        let mut p = Proof::new();
+        p.add_original(lits(&[1]));
+        assert_eq!(check_refutation(&p).unwrap_err(), CheckError::NoRefutation);
+    }
+
+    #[test]
+    fn long_chain_resolution() {
+        // x1, x1->x2, ..., x4->x5, ¬x5 refuted with a single chain.
+        let mut p = Proof::new();
+        let mut ants = vec![p.add_original(lits(&[1]))];
+        for i in 1..5 {
+            ants.push(p.add_original(lits(&[-(i), i + 1])));
+        }
+        ants.push(p.add_original(lits(&[-5])));
+        p.add_derived([], ants);
+        assert_eq!(check_strict(&p), Ok(()));
+        assert_eq!(check_rup(&p), Ok(()));
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let e = CheckError::NoPivot {
+            step: ClauseId::new(7),
+            position: 2,
+        };
+        assert!(format!("{e}").contains("c7"));
+    }
+}

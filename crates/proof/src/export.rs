@@ -1,0 +1,119 @@
+//! Proof export in standard textual formats.
+//!
+//! - **TraceCheck** (`%RESL` traces as consumed by `tracecheck`): every
+//!   step lists its clause and its antecedent ids. Original clauses have
+//!   empty antecedent lists.
+//! - **DRAT** (clausal): derived clauses only, in order; deletions are
+//!   not emitted (the proofs here are already trimmed when it matters).
+//!
+//! Both use DIMACS literal conventions (1-based, sign = polarity).
+
+use crate::Proof;
+use std::io::{self, Write};
+
+/// Writes the proof in TraceCheck format.
+///
+/// Step ids are 1-based in the output, matching the format's convention.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `w`.
+///
+/// # Example
+///
+/// ```
+/// use cnf::Var;
+/// use proof::{export, Proof};
+///
+/// # fn main() -> std::io::Result<()> {
+/// let mut p = Proof::new();
+/// let x = Var::new(0);
+/// let a = p.add_original([x.positive()]);
+/// let b = p.add_original([x.negative()]);
+/// p.add_derived([], [a, b]);
+/// let mut out = Vec::new();
+/// export::write_tracecheck(&p, &mut out)?;
+/// let text = String::from_utf8(out).unwrap();
+/// assert_eq!(text.lines().count(), 3);
+/// assert!(text.lines().last().unwrap().starts_with("3 "));
+/// # Ok(())
+/// # }
+/// ```
+pub fn write_tracecheck<W: Write>(proof: &Proof, mut w: W) -> io::Result<()> {
+    for (id, step) in proof.iter() {
+        write!(w, "{} ", id.index() + 1)?;
+        for l in step.clause {
+            write!(w, "{} ", l.to_dimacs())?;
+        }
+        write!(w, "0 ")?;
+        for a in step.antecedents {
+            write!(w, "{} ", a.index() + 1)?;
+        }
+        writeln!(w, "0")?;
+    }
+    Ok(())
+}
+
+/// Writes the derived clauses of the proof in DRAT format (additions
+/// only, no deletions).
+///
+/// # Errors
+///
+/// Propagates I/O errors from `w`.
+pub fn write_drat<W: Write>(proof: &Proof, mut w: W) -> io::Result<()> {
+    for (_, step) in proof.iter() {
+        if step.is_original() {
+            continue;
+        }
+        for l in step.clause {
+            write!(w, "{} ", l.to_dimacs())?;
+        }
+        writeln!(w, "0")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnf::Var;
+
+    fn sample() -> Proof {
+        let mut p = Proof::new();
+        let x = Var::new(0);
+        let y = Var::new(1);
+        let c1 = p.add_original([x.positive(), y.positive()]);
+        let c2 = p.add_original([x.negative()]);
+        let d = p.add_derived([y.positive()], [c1, c2]);
+        let c3 = p.add_original([y.negative()]);
+        p.add_derived([], [d, c3]);
+        p
+    }
+
+    #[test]
+    fn tracecheck_layout() {
+        let p = sample();
+        let mut out = Vec::new();
+        write_tracecheck(&p, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 5);
+        // Original clause: `id lits 0 0`.
+        assert_eq!(lines[0], "1 1 2 0 0");
+        assert_eq!(lines[1], "2 -1 0 0");
+        // Derived clause: `id lits 0 antecedents 0`.
+        assert_eq!(lines[2], "3 2 0 1 2 0");
+        // Empty clause line.
+        assert_eq!(lines[4], "5 0 3 4 0");
+    }
+
+    #[test]
+    fn drat_contains_only_derived() {
+        let p = sample();
+        let mut out = Vec::new();
+        write_drat(&p, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines, vec!["2 0", "0"]);
+    }
+}

@@ -1,0 +1,211 @@
+//! TraceCheck proof import.
+//!
+//! Together with [`crate::export::write_tracecheck`] this makes proofs
+//! first-class artifacts: an engine can emit a trace to disk and any
+//! later process (or a different tool entirely) can re-load and re-check
+//! it. The format is one step per line:
+//!
+//! ```text
+//! <id> <lit>* 0 <antecedent-id>* 0
+//! ```
+//!
+//! with 1-based step ids and DIMACS literals. Steps may appear in any
+//! order as long as antecedents refer to earlier *lines* after
+//! topological reordering is unnecessary — this reader requires ids to
+//! be ordered (the common case and what the writer produces).
+
+use crate::{ClauseId, Proof};
+use cnf::Lit;
+use std::fmt;
+use std::io::{self, BufRead};
+use std::num::NonZeroI32;
+
+/// Error produced while reading a TraceCheck file.
+#[derive(Debug)]
+pub enum ParseTraceError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The file violates the format; the message says how.
+    Format(String),
+}
+
+impl fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseTraceError::Io(e) => write!(f, "i/o error reading trace: {e}"),
+            ParseTraceError::Format(m) => write!(f, "invalid tracecheck file: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseTraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ParseTraceError::Io(e) => Some(e),
+            ParseTraceError::Format(_) => None,
+        }
+    }
+}
+
+impl From<io::Error> for ParseTraceError {
+    fn from(e: io::Error) -> Self {
+        ParseTraceError::Io(e)
+    }
+}
+
+/// Reads a TraceCheck proof.
+///
+/// Step ids must be 1-based, strictly increasing, and antecedents must
+/// reference earlier steps. The resulting proof is *not* checked; run
+/// [`crate::check::check_strict`] (or `check_rup`) afterwards.
+///
+/// # Errors
+///
+/// Returns [`ParseTraceError`] on malformed input or I/O failure.
+///
+/// # Example
+///
+/// ```
+/// use proof::import::read_tracecheck;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let text = "1 1 0 0\n2 -1 0 0\n3 0 1 2 0\n";
+/// let p = read_tracecheck(text.as_bytes())?;
+/// assert_eq!(p.len(), 3);
+/// assert!(proof::check::check_refutation(&p).is_ok());
+/// # Ok(())
+/// # }
+/// ```
+pub fn read_tracecheck<R: BufRead>(r: R) -> Result<Proof, ParseTraceError> {
+    let mut proof = Proof::new();
+    let mut expected: u64 = 1;
+    for (line_no, line) in r.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        let err = |m: String| ParseTraceError::Format(format!("line {}: {m}", line_no + 1));
+        let mut tokens = line.split_whitespace();
+        let id: u64 = tokens
+            .next()
+            .ok_or_else(|| err("missing step id".into()))?
+            .parse()
+            .map_err(|e| err(format!("bad step id: {e}")))?;
+        if id != expected {
+            return Err(err(format!("expected step id {expected}, found {id}")));
+        }
+        expected += 1;
+
+        // Literals up to the first 0.
+        let mut lits: Vec<Lit> = Vec::new();
+        let mut saw_zero = false;
+        for tok in tokens.by_ref() {
+            let v: i32 = tok
+                .parse()
+                .map_err(|e| err(format!("bad literal `{tok}`: {e}")))?;
+            match NonZeroI32::new(v) {
+                None => {
+                    saw_zero = true;
+                    break;
+                }
+                Some(nz) => lits.push(Lit::from_dimacs(nz)),
+            }
+        }
+        if !saw_zero {
+            return Err(err("clause not terminated by 0".into()));
+        }
+        // Antecedents up to the second 0.
+        let mut ants: Vec<ClauseId> = Vec::new();
+        let mut saw_zero = false;
+        for tok in tokens.by_ref() {
+            let v: i64 = tok
+                .parse()
+                .map_err(|e| err(format!("bad antecedent `{tok}`: {e}")))?;
+            if v == 0 {
+                saw_zero = true;
+                break;
+            }
+            if v < 1 || v as u64 >= id {
+                return Err(err(format!("antecedent {v} out of range for step {id}")));
+            }
+            ants.push(ClauseId::new((v - 1) as u32));
+        }
+        if !saw_zero {
+            return Err(err("antecedent list not terminated by 0".into()));
+        }
+        if tokens.next().is_some() {
+            return Err(err("trailing tokens after antecedent terminator".into()));
+        }
+        if ants.is_empty() {
+            proof.add_original(lits);
+        } else {
+            proof.add_derived(lits, ants);
+        }
+    }
+    Ok(proof)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::export::write_tracecheck;
+    use cnf::Var;
+
+    fn sample() -> Proof {
+        let mut p = Proof::new();
+        let x = Var::new(0);
+        let y = Var::new(1);
+        let c1 = p.add_original([x.positive(), y.positive()]);
+        let c2 = p.add_original([x.negative()]);
+        let d = p.add_derived([y.positive()], [c1, c2]);
+        let c3 = p.add_original([y.negative()]);
+        p.add_derived([], [d, c3]);
+        p
+    }
+
+    #[test]
+    fn round_trip_preserves_everything_checkable() {
+        let p = sample();
+        let mut buf = Vec::new();
+        write_tracecheck(&p, &mut buf).unwrap();
+        let q = read_tracecheck(&buf[..]).unwrap();
+        assert_eq!(p.len(), q.len());
+        assert_eq!(p.num_original(), q.num_original());
+        assert_eq!(p.num_resolutions(), q.num_resolutions());
+        for (id, step) in p.iter() {
+            assert_eq!(step.clause, q.clause(id));
+        }
+        crate::check::check_refutation(&q).unwrap();
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let text = "c header\n\n1 1 0 0\nc mid\n2 -1 0 0\n3 0 1 2 0\n";
+        let p = read_tracecheck(text.as_bytes()).unwrap();
+        assert_eq!(p.len(), 3);
+    }
+
+    #[test]
+    fn rejects_gap_in_ids() {
+        assert!(read_tracecheck("1 1 0 0\n3 -1 0 0\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_forward_antecedent() {
+        assert!(read_tracecheck("1 1 0 0\n2 0 1 5 0\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_missing_terminators() {
+        assert!(read_tracecheck("1 1 0\n".as_bytes()).is_err());
+        assert!(read_tracecheck("1 1\n".as_bytes()).is_err());
+        assert!(read_tracecheck("1 1 0 0 7\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn error_messages_carry_line_numbers() {
+        let e = read_tracecheck("1 1 0 0\nx\n".as_bytes()).unwrap_err();
+        assert!(format!("{e}").contains("line 2"));
+    }
+}

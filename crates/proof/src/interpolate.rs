@@ -1,0 +1,323 @@
+//! Craig interpolation from resolution proofs (McMillan's system).
+//!
+//! One of the paper's motivations for insisting on *resolution* proofs
+//! from a CEC engine is that they immediately yield interpolants: given
+//! a refutation of `A ∧ B`, an interpolant `I` satisfies `A ⟹ I`,
+//! `I ∧ B` unsatisfiable, and `I` mentions only variables shared by `A`
+//! and `B`. Interpolants drive abstraction and (in the sequential
+//! setting) unbounded model checking.
+//!
+//! The construction here is McMillan's:
+//!
+//! - original `A`-clause `C`: `I(C) = ⋁ {ℓ ∈ C : var(ℓ) global}`
+//! - original `B`-clause `C`: `I(C) = ⊤`
+//! - resolution on pivot `v`: `I = I₁ ∨ I₂` if `v` is `A`-local,
+//!   `I = I₁ ∧ I₂` otherwise
+//!
+//! The interpolant is built directly as an [`aig::Aig`], so its size can
+//! be reported in gates and it can be checked by simulation or SAT.
+
+use crate::{check::CheckError, ClauseId, Proof};
+use aig::Aig;
+use cnf::{Lit, Var};
+use std::collections::HashMap;
+
+/// An interpolant extracted from a refutation.
+#[derive(Clone, Debug)]
+pub struct Interpolant {
+    /// The interpolant circuit: one output, one input per global
+    /// variable actually mentioned.
+    pub graph: Aig,
+    /// `inputs[i]` is the proof variable feeding the circuit's input `i`.
+    pub inputs: Vec<Var>,
+}
+
+impl Interpolant {
+    /// Evaluates the interpolant under an assignment of proof variables
+    /// (`assignment[v]` is the value of variable `v`). Variables not used
+    /// by the interpolant are ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assignment does not cover every input variable.
+    pub fn evaluate(&self, assignment: &[bool]) -> bool {
+        let pattern: Vec<bool> = self
+            .inputs
+            .iter()
+            .map(|v| assignment[v.as_usize()])
+            .collect();
+        self.graph.evaluate(&pattern)[0]
+    }
+}
+
+/// Extracts a McMillan interpolant from the refutation rooted at `root`.
+///
+/// `is_b(id)` labels each *original* clause: `true` places it in the `B`
+/// part, `false` in the `A` part. Variable classes (A-local / global) are
+/// computed from the original clauses of the whole proof.
+///
+/// The proof must replay exactly (recorded clauses equal to their chain
+/// resolvents); run [`crate::check::check_strict`] first. This function
+/// re-derives each pivot and fails if a chain does not resolve.
+///
+/// # Errors
+///
+/// Returns a [`CheckError`] if a chain cannot be replayed.
+///
+/// # Panics
+///
+/// Panics if `root` is out of range.
+pub fn interpolant<F: Fn(ClauseId) -> bool>(
+    proof: &Proof,
+    root: ClauseId,
+    is_b: F,
+) -> Result<Interpolant, CheckError> {
+    assert!(root.as_usize() < proof.len(), "root out of range");
+
+    // Classify variables from the original clauses.
+    let num_vars = proof
+        .iter()
+        .flat_map(|(_, s)| s.clause.iter().map(|l| l.var().as_usize() + 1))
+        .max()
+        .unwrap_or(0);
+    let mut in_a = vec![false; num_vars];
+    let mut in_b = vec![false; num_vars];
+    for (id, step) in proof.iter() {
+        if !step.is_original() {
+            continue;
+        }
+        let side = if is_b(id) { &mut in_b } else { &mut in_a };
+        for l in step.clause {
+            side[l.var().as_usize()] = true;
+        }
+    }
+    let is_global = |v: Var| in_a[v.as_usize()] && in_b[v.as_usize()];
+    let is_a_local = |v: Var| in_a[v.as_usize()] && !in_b[v.as_usize()];
+
+    let mut graph = Aig::new();
+    let mut inputs: Vec<Var> = Vec::new();
+    let mut input_of: HashMap<Var, aig::Lit> = HashMap::new();
+    let mut var_lit = |graph: &mut Aig, v: Var| -> aig::Lit {
+        *input_of.entry(v).or_insert_with(|| {
+            inputs.push(v);
+            graph.add_input()
+        })
+    };
+
+    // Interpolant literal per step (computed lazily up to root).
+    let mut itp: Vec<Option<aig::Lit>> = vec![None; proof.len()];
+    // Chain replay buffer: var -> polarity marker.
+    let mut mark: Vec<u8> = vec![0; num_vars];
+    let mut touched: Vec<u32> = Vec::new();
+
+    for idx in 0..=root.as_usize() {
+        let id = ClauseId::new(idx as u32);
+        let step = proof.step(id);
+        if step.is_original() {
+            itp[idx] = Some(if is_b(id) {
+                aig::Lit::TRUE
+            } else {
+                // Disjunction of the global literals of the clause.
+                let mut terms = Vec::new();
+                for &l in step.clause {
+                    if is_global(l.var()) {
+                        let base = var_lit(&mut graph, l.var());
+                        terms.push(base.xor_complement(l.is_negative()));
+                    }
+                }
+                graph.or_all(&terms)
+            });
+            continue;
+        }
+
+        // Replay the chain to find each pivot, folding interpolants.
+        let ants = step.antecedents;
+        let first = proof.clause(ants[0]);
+        for &l in first {
+            let v = l.var().as_usize();
+            let m = if l.is_negative() { 2 } else { 1 };
+            if mark[v] != 0 && mark[v] != m {
+                clear(&mut mark, &mut touched);
+                return Err(CheckError::TautologicalAntecedent(ants[0]));
+            }
+            if mark[v] == 0 {
+                touched.push(l.var().index());
+            }
+            mark[v] = m;
+        }
+        let mut cur = itp[ants[0].as_usize()].expect("antecedent precedes step");
+        let mut failure: Option<CheckError> = None;
+        'chain: for (pos, &a) in ants.iter().enumerate().skip(1) {
+            let clause = proof.clause(a);
+            let mut pivot: Option<Lit> = None;
+            for &l in clause {
+                let v = l.var().as_usize();
+                let m = if l.is_negative() { 2 } else { 1 };
+                if mark[v] != 0 && mark[v] != m {
+                    if pivot.is_some() {
+                        failure = Some(CheckError::MultiplePivots { step: id, position: pos });
+                        break 'chain;
+                    }
+                    pivot = Some(l);
+                }
+            }
+            let Some(pivot) = pivot else {
+                failure = Some(CheckError::NoPivot { step: id, position: pos });
+                break 'chain;
+            };
+            mark[pivot.var().as_usize()] = 0;
+            for &l in clause {
+                if l == pivot {
+                    continue;
+                }
+                let v = l.var().as_usize();
+                if mark[v] == 0 {
+                    touched.push(l.var().index());
+                }
+                mark[v] = if l.is_negative() { 2 } else { 1 };
+            }
+            let other = itp[a.as_usize()].expect("antecedent precedes step");
+            cur = if is_a_local(pivot.var()) {
+                graph.or(cur, other)
+            } else {
+                graph.and(cur, other)
+            };
+        }
+        clear(&mut mark, &mut touched);
+        if let Some(e) = failure {
+            return Err(e);
+        }
+        itp[idx] = Some(cur);
+    }
+
+    let out = itp[root.as_usize()].expect("root computed");
+    graph.add_output(out);
+    Ok(Interpolant { graph, inputs })
+}
+
+fn clear(mark: &mut [u8], touched: &mut Vec<u32>) {
+    for v in touched.drain(..) {
+        mark[v as usize] = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lits(xs: &[i32]) -> Vec<Lit> {
+        xs.iter()
+            .map(|&v| Var::new(v.unsigned_abs() - 1).lit(v < 0))
+            .collect()
+    }
+
+    /// A = (a)(¬a ∨ g), B = (¬g): global var g, A-local a.
+    /// Refutation: (g) from A, empty with B. Interpolant must be g.
+    #[test]
+    fn simple_interpolant_is_shared_literal() {
+        let mut p = Proof::new();
+        let a1 = p.add_original(lits(&[1])); // a
+        let a2 = p.add_original(lits(&[-1, 2])); // ¬a ∨ g
+        let b1 = p.add_original(lits(&[-2])); // ¬g
+        let g = p.add_derived(lits(&[2]), [a1, a2]);
+        let e = p.add_derived([], [g, b1]);
+        p.check().unwrap();
+        let itp = interpolant(&p, e, |id| id == b1).unwrap();
+        assert_eq!(itp.inputs, vec![Var::new(1)]);
+        // I(a=*, g=1) = 1, I(g=0) = 0.
+        assert!(itp.evaluate(&[false, true]));
+        assert!(!itp.evaluate(&[false, false]));
+    }
+
+    /// Checks A ⟹ I and I ∧ B ⟹ ⊥ by brute force over all variables.
+    fn verify_interpolant(
+        p: &Proof,
+        itp: &Interpolant,
+        a_clauses: &[Vec<Lit>],
+        b_clauses: &[Vec<Lit>],
+    ) {
+        let num_vars = p
+            .iter()
+            .flat_map(|(_, s)| s.clause.iter().map(|l| l.var().index() + 1))
+            .max()
+            .unwrap() as usize;
+        let eval_clauses = |cs: &[Vec<Lit>], m: &[bool]| {
+            cs.iter()
+                .all(|c| c.iter().any(|l| m[l.var().as_usize()] ^ l.is_negative()))
+        };
+        for bits in 0..(1u64 << num_vars) {
+            let m: Vec<bool> = (0..num_vars).map(|i| bits >> i & 1 == 1).collect();
+            let iv = itp.evaluate(&m);
+            if eval_clauses(a_clauses, &m) {
+                assert!(iv, "A holds but interpolant false under {m:?}");
+            }
+            if eval_clauses(b_clauses, &m) {
+                assert!(!iv, "B holds but interpolant true under {m:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn interpolant_properties_hold() {
+        // A = (x)(¬x ∨ y)(¬y ∨ s), B = (¬s ∨ z)(¬z)(s ∨ z).
+        // Shared: s. A-local: x, y. B-local: z.
+        let a_clauses = vec![lits(&[1]), lits(&[-1, 2]), lits(&[-2, 3])];
+        let b_clauses = vec![lits(&[-3, 4]), lits(&[-4]), lits(&[3, 4])];
+        let mut p = Proof::new();
+        let a: Vec<ClauseId> = a_clauses
+            .iter()
+            .map(|c| p.add_original(c.iter().copied()))
+            .collect();
+        let b: Vec<ClauseId> = b_clauses
+            .iter()
+            .map(|c| p.add_original(c.iter().copied()))
+            .collect();
+        // Derive s from A.
+        let y = p.add_derived(lits(&[2]), [a[0], a[1]]);
+        let s = p.add_derived(lits(&[3]), [y, a[2]]);
+        // Derive ¬s from B: (¬s ∨ z) + (¬z) = (¬s).
+        let ns = p.add_derived(lits(&[-3]), [b[0], b[1]]);
+        let e = p.add_derived([], [s, ns]);
+        p.check().unwrap();
+        let b_set: std::collections::HashSet<ClauseId> = b.iter().copied().collect();
+        let itp = interpolant(&p, e, |id| b_set.contains(&id)).unwrap();
+        // Interpolant mentions only the shared variable s.
+        assert!(itp.inputs.iter().all(|v| *v == Var::new(2)));
+        verify_interpolant(&p, &itp, &a_clauses, &b_clauses);
+    }
+
+    #[test]
+    fn all_b_gives_true_interpolant() {
+        let mut p = Proof::new();
+        let c1 = p.add_original(lits(&[1]));
+        let c2 = p.add_original(lits(&[-1]));
+        let e = p.add_derived([], [c1, c2]);
+        let itp = interpolant(&p, e, |_| true).unwrap();
+        assert!(itp.evaluate(&[false, false]));
+        assert!(itp.evaluate(&[true, true]));
+    }
+
+    #[test]
+    fn all_a_gives_false_interpolant() {
+        let mut p = Proof::new();
+        let c1 = p.add_original(lits(&[1]));
+        let c2 = p.add_original(lits(&[-1]));
+        let e = p.add_derived([], [c1, c2]);
+        let itp = interpolant(&p, e, |_| false).unwrap();
+        // No globals: A-local pivot, I = ⊥ ∨ ⊥.
+        assert!(!itp.evaluate(&[false, false]));
+        assert!(!itp.evaluate(&[true, true]));
+    }
+
+    #[test]
+    fn broken_chain_is_reported() {
+        let mut p = Proof::new();
+        let c1 = p.add_original(lits(&[1, 2]));
+        let c2 = p.add_original(lits(&[1, 3]));
+        let bad = p.add_derived(lits(&[2, 3]), [c1, c2]);
+        match interpolant(&p, bad, |_| false) {
+            Err(CheckError::NoPivot { step, .. }) => assert_eq!(step, bad),
+            other => panic!("expected NoPivot, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! Property-based tests for the proof store and checkers, using random
+//! *valid* chain constructions and random corruptions.
+
+use cnf::{Lit, Var};
+use proof::{check, trim, ClauseId, Proof};
+use proptest::prelude::*;
+
+/// Builds a random valid resolution proof by repeatedly resolving two
+/// earlier clauses that clash on exactly one variable.
+fn random_valid_proof(num_vars: u32, originals: usize, derivations: usize, seed: u64) -> Proof {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+    let mut p = Proof::new();
+    let mut clauses: Vec<(ClauseId, Vec<Lit>)> = Vec::new();
+    for _ in 0..originals {
+        let len = rng.gen_range(1..4usize);
+        let mut lits: Vec<Lit> = (0..len)
+            .map(|_| Var::new(rng.gen_range(0..num_vars)).lit(rng.gen()))
+            .collect();
+        lits.sort_unstable();
+        lits.dedup();
+        // Avoid tautologies so everything stays resolvable.
+        if lits.windows(2).any(|w| w[0].var() == w[1].var()) {
+            continue;
+        }
+        let id = p.add_original(lits.iter().copied());
+        clauses.push((id, lits));
+    }
+    for _ in 0..derivations {
+        if clauses.is_empty() {
+            break;
+        }
+        // Pick a pair with a unique clash.
+        for _attempt in 0..30 {
+            let (ia, ca) = &clauses[rng.gen_range(0..clauses.len())];
+            let (ib, cb) = &clauses[rng.gen_range(0..clauses.len())];
+            let clashes: Vec<Lit> = ca
+                .iter()
+                .copied()
+                .filter(|l| cb.contains(&!*l))
+                .collect();
+            if clashes.len() != 1 {
+                continue;
+            }
+            let pivot = clashes[0];
+            let mut resolvent: Vec<Lit> = ca
+                .iter()
+                .chain(cb.iter())
+                .copied()
+                .filter(|&l| l != pivot && l != !pivot)
+                .collect();
+            resolvent.sort_unstable();
+            resolvent.dedup();
+            if resolvent.windows(2).any(|w| w[0].var() == w[1].var()) {
+                continue; // tautological resolvent, skip
+            }
+            let id = p.add_derived(resolvent.iter().copied(), [*ia, *ib]);
+            clauses.push((id, resolvent));
+            break;
+        }
+    }
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
+
+    /// Every randomly built valid proof passes both checkers.
+    #[test]
+    fn valid_proofs_pass_both_checkers(
+        num_vars in 2u32..8,
+        originals in 2usize..12,
+        derivations in 0usize..20,
+        seed in any::<u64>(),
+    ) {
+        let p = random_valid_proof(num_vars, originals, derivations, seed);
+        prop_assert_eq!(check::check_strict(&p), Ok(()));
+        prop_assert_eq!(check::check_rup(&p), Ok(()));
+    }
+
+    /// Corrupting a derived clause by adding a fresh literal still
+    /// passes (weakening), but *removing* a resolvent literal fails the
+    /// strict checker.
+    #[test]
+    fn strict_checker_rejects_strengthening(
+        num_vars in 3u32..8,
+        seed in any::<u64>(),
+    ) {
+        // (x ∨ y) and (¬x ∨ z) resolve to (y ∨ z); claim (y) instead.
+        let _ = seed;
+        let x = Var::new(0);
+        let y = Var::new(1);
+        let z = Var::new(num_vars - 1);
+        prop_assume!(z.index() >= 2);
+        let mut p = Proof::new();
+        let c1 = p.add_original([x.positive(), y.positive()]);
+        let c2 = p.add_original([x.negative(), z.positive()]);
+        p.add_derived([y.positive()], [c1, c2]);
+        prop_assert!(check::check_strict(&p).is_err());
+        prop_assert!(check::check_rup(&p).is_err());
+    }
+
+    /// Trimming preserves checkability and never grows the proof, for
+    /// any step chosen as the root.
+    #[test]
+    fn trim_any_root_preserves_validity(
+        num_vars in 2u32..8,
+        originals in 2usize..10,
+        derivations in 1usize..15,
+        seed in any::<u64>(),
+        root_choice in any::<u64>(),
+    ) {
+        let p = random_valid_proof(num_vars, originals, derivations, seed);
+        prop_assume!(!p.is_empty());
+        let root = ClauseId::new((root_choice % p.len() as u64) as u32);
+        let t = trim(&p, root);
+        prop_assert!(t.proof.len() <= p.len());
+        prop_assert_eq!(check::check_strict(&t.proof), Ok(()));
+        // The root's clause is preserved verbatim.
+        prop_assert_eq!(p.clause(root), t.proof.clause(t.root));
+    }
+
+    /// Strengthening corruption: removing any literal from any derived
+    /// step's recorded clause must be rejected by the strict checker
+    /// (the proofs record exact resolvents).
+    #[test]
+    fn checker_rejects_any_strengthening_corruption(
+        num_vars in 2u32..8,
+        originals in 2usize..12,
+        derivations in 1usize..20,
+        seed in any::<u64>(),
+        victim_choice in any::<u64>(),
+        literal_choice in any::<u64>(),
+    ) {
+        let p = random_valid_proof(num_vars, originals, derivations, seed);
+        // Pick a derived, non-empty step to corrupt.
+        let victims: Vec<ClauseId> = p
+            .iter()
+            .filter(|(_, s)| !s.is_original() && !s.clause.is_empty())
+            .map(|(id, _)| id)
+            .collect();
+        prop_assume!(!victims.is_empty());
+        let victim = victims[(victim_choice % victims.len() as u64) as usize];
+        let drop_idx = (literal_choice % p.clause(victim).len() as u64) as usize;
+
+        // Rebuild the proof with one literal removed from the victim.
+        let mut corrupted = Proof::new();
+        for (id, step) in p.iter() {
+            let lits: Vec<Lit> = if id == victim {
+                step.clause
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| *i != drop_idx)
+                    .map(|(_, &l)| l)
+                    .collect()
+            } else {
+                step.clause.to_vec()
+            };
+            if step.is_original() {
+                corrupted.add_original(lits);
+            } else {
+                corrupted.add_derived(lits, step.antecedents.iter().copied());
+            }
+        }
+        prop_assert!(
+            check::check_strict(&corrupted).is_err(),
+            "strict checker accepted a strengthened step"
+        );
+    }
+
+    /// TraceCheck export is parseable line-per-step with 1-based ids.
+    #[test]
+    fn tracecheck_export_shape(
+        num_vars in 2u32..6,
+        originals in 1usize..8,
+        derivations in 0usize..10,
+        seed in any::<u64>(),
+    ) {
+        let p = random_valid_proof(num_vars, originals, derivations, seed);
+        let mut buf = Vec::new();
+        proof::export::write_tracecheck(&p, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        prop_assert_eq!(text.lines().count(), p.len());
+        for (i, line) in text.lines().enumerate() {
+            let first: u64 = line.split_whitespace().next().unwrap().parse().unwrap();
+            prop_assert_eq!(first, i as u64 + 1);
+            prop_assert!(line.trim_end().ends_with('0'));
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! Clause storage.
+
+use cnf::Lit;
+use proof::ClauseId;
+
+/// Reference to a clause in the [`ClauseDb`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct ClauseRef(u32);
+
+impl ClauseRef {
+    #[inline]
+    pub(crate) fn new(index: usize) -> Self {
+        ClauseRef(index as u32)
+    }
+
+    #[inline]
+    pub(crate) fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+}
+
+#[derive(Debug)]
+struct ClauseInfo {
+    lits: Box<[Lit]>,
+    proof_id: Option<ClauseId>,
+    activity: f32,
+    lbd: u32,
+    learnt: bool,
+    deleted: bool,
+}
+
+/// The solver's clause database: original (permanent) and learnt
+/// (reducible) clauses, each carrying its proof step id when proof
+/// logging is enabled.
+#[derive(Debug, Default)]
+pub struct ClauseDb {
+    clauses: Vec<ClauseInfo>,
+    num_learnt: usize,
+    num_deleted: usize,
+}
+
+impl ClauseDb {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        ClauseDb::default()
+    }
+
+    /// Adds a clause; `learnt` clauses are eligible for reduction.
+    pub fn add(&mut self, lits: Vec<Lit>, learnt: bool, proof_id: Option<ClauseId>) -> ClauseRef {
+        let r = ClauseRef::new(self.clauses.len());
+        self.clauses.push(ClauseInfo {
+            lits: lits.into_boxed_slice(),
+            proof_id,
+            activity: 0.0,
+            lbd: 0,
+            learnt,
+            deleted: false,
+        });
+        if learnt {
+            self.num_learnt += 1;
+        }
+        r
+    }
+
+    /// The literals of a clause. The first two are the watched ones.
+    #[inline]
+    pub fn lits(&self, r: ClauseRef) -> &[Lit] {
+        &self.clauses[r.as_usize()].lits
+    }
+
+    /// Mutable literals (for watch reordering).
+    #[inline]
+    pub fn lits_mut(&mut self, r: ClauseRef) -> &mut [Lit] {
+        &mut self.clauses[r.as_usize()].lits
+    }
+
+    /// The proof step that introduced this clause, if logging.
+    #[inline]
+    pub fn proof_id(&self, r: ClauseRef) -> Option<ClauseId> {
+        self.clauses[r.as_usize()].proof_id
+    }
+
+    /// Whether the clause was learnt (reducible).
+    #[inline]
+    pub fn is_learnt(&self, r: ClauseRef) -> bool {
+        self.clauses[r.as_usize()].learnt
+    }
+
+    /// Whether the clause has been deleted.
+    #[inline]
+    pub fn is_deleted(&self, r: ClauseRef) -> bool {
+        self.clauses[r.as_usize()].deleted
+    }
+
+    /// Marks a clause deleted and frees its literal storage.
+    pub fn delete(&mut self, r: ClauseRef) {
+        let c = &mut self.clauses[r.as_usize()];
+        debug_assert!(!c.deleted);
+        c.deleted = true;
+        c.lits = Box::new([]);
+        self.num_deleted += 1;
+        if c.learnt {
+            self.num_learnt -= 1;
+        }
+    }
+
+    /// Glue (LBD) of a learnt clause.
+    #[inline]
+    pub fn lbd(&self, r: ClauseRef) -> u32 {
+        self.clauses[r.as_usize()].lbd
+    }
+
+    /// Sets the glue (LBD) of a clause.
+    #[inline]
+    pub fn set_lbd(&mut self, r: ClauseRef, lbd: u32) {
+        self.clauses[r.as_usize()].lbd = lbd;
+    }
+
+    /// Clause activity (for reduction ordering).
+    #[inline]
+    pub fn activity(&self, r: ClauseRef) -> f32 {
+        self.clauses[r.as_usize()].activity
+    }
+
+    /// Bumps a clause's activity; returns true if a global rescale of
+    /// all activities is needed (caller then calls [`ClauseDb::rescale`]).
+    pub fn bump(&mut self, r: ClauseRef, inc: f32) -> bool {
+        let c = &mut self.clauses[r.as_usize()];
+        c.activity += inc;
+        c.activity >= 1e20
+    }
+
+    /// Rescales all clause activities by `factor`.
+    pub fn rescale(&mut self, factor: f32) {
+        for c in &mut self.clauses {
+            c.activity *= factor;
+        }
+    }
+
+    /// Number of live learnt clauses.
+    #[inline]
+    pub fn num_learnt(&self) -> usize {
+        self.num_learnt
+    }
+
+    /// Number of live clauses.
+    #[inline]
+    pub fn num_live(&self) -> usize {
+        self.clauses.len() - self.num_deleted
+    }
+
+    /// All live learnt clause references.
+    pub fn learnt_refs(&self) -> Vec<ClauseRef> {
+        (0..self.clauses.len())
+            .filter(|&i| {
+                let c = &self.clauses[i];
+                c.learnt && !c.deleted
+            })
+            .map(ClauseRef::new)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnf::Var;
+
+    fn l(i: u32) -> Lit {
+        Var::new(i).positive()
+    }
+
+    #[test]
+    fn add_and_access() {
+        let mut db = ClauseDb::new();
+        let r = db.add(vec![l(0), l(1)], false, None);
+        assert_eq!(db.lits(r), &[l(0), l(1)]);
+        assert!(!db.is_learnt(r));
+        assert!(!db.is_deleted(r));
+        assert_eq!(db.num_live(), 1);
+    }
+
+    #[test]
+    fn delete_frees_and_counts() {
+        let mut db = ClauseDb::new();
+        let a = db.add(vec![l(0)], true, None);
+        let b = db.add(vec![l(1)], true, None);
+        assert_eq!(db.num_learnt(), 2);
+        db.delete(a);
+        assert!(db.is_deleted(a));
+        assert_eq!(db.num_learnt(), 1);
+        assert_eq!(db.num_live(), 1);
+        assert_eq!(db.learnt_refs(), vec![b]);
+    }
+
+    #[test]
+    fn activity_rescale() {
+        let mut db = ClauseDb::new();
+        let r = db.add(vec![l(0)], true, None);
+        assert!(!db.bump(r, 1.0));
+        assert!(db.bump(r, 1e20));
+        db.rescale(1e-20);
+        assert!(db.activity(r) <= 1.001);
+    }
+}

@@ -1,0 +1,177 @@
+//! Indexed max-heap over variable activities (VSIDS decision order).
+
+use cnf::Var;
+
+/// A binary max-heap of variables keyed by an external activity array,
+/// with `O(log n)` insert, pop, and key-increase, and `O(1)` membership.
+#[derive(Clone, Debug, Default)]
+pub struct VarHeap {
+    heap: Vec<Var>,
+    /// Position of each variable in `heap`, or `usize::MAX` if absent.
+    position: Vec<usize>,
+}
+
+const ABSENT: usize = usize::MAX;
+
+impl VarHeap {
+    /// Creates an empty heap.
+    pub fn new() -> Self {
+        VarHeap::default()
+    }
+
+    /// Registers a new variable (initially absent from the heap).
+    pub fn grow_to(&mut self, num_vars: usize) {
+        self.position.resize(num_vars, ABSENT);
+    }
+
+    /// Whether the heap contains no variables.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Number of variables currently in the heap.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether `v` is currently in the heap.
+    pub fn contains(&self, v: Var) -> bool {
+        self.position
+            .get(v.as_usize())
+            .is_some_and(|&p| p != ABSENT)
+    }
+
+    /// Inserts `v` (no-op if present).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` was not registered via [`VarHeap::grow_to`].
+    pub fn insert(&mut self, v: Var, activity: &[f64]) {
+        if self.contains(v) {
+            return;
+        }
+        let i = self.heap.len();
+        self.heap.push(v);
+        self.position[v.as_usize()] = i;
+        self.sift_up(i, activity);
+    }
+
+    /// Removes and returns the variable with maximum activity.
+    pub fn pop(&mut self, activity: &[f64]) -> Option<Var> {
+        let top = *self.heap.first()?;
+        self.position[top.as_usize()] = ABSENT;
+        let last = self.heap.pop().expect("nonempty");
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.position[last.as_usize()] = 0;
+            self.sift_down(0, activity);
+        }
+        Some(top)
+    }
+
+    /// Restores heap order after `v`'s activity increased.
+    pub fn update(&mut self, v: Var, activity: &[f64]) {
+        if let Some(&p) = self.position.get(v.as_usize()) {
+            if p != ABSENT {
+                self.sift_up(p, activity);
+            }
+        }
+    }
+
+    fn sift_up(&mut self, mut i: usize, activity: &[f64]) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if activity[self.heap[i].as_usize()] <= activity[self.heap[parent].as_usize()] {
+                break;
+            }
+            self.swap(i, parent);
+            i = parent;
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize, activity: &[f64]) {
+        loop {
+            let l = 2 * i + 1;
+            let r = 2 * i + 2;
+            let mut best = i;
+            if l < self.heap.len()
+                && activity[self.heap[l].as_usize()] > activity[self.heap[best].as_usize()]
+            {
+                best = l;
+            }
+            if r < self.heap.len()
+                && activity[self.heap[r].as_usize()] > activity[self.heap[best].as_usize()]
+            {
+                best = r;
+            }
+            if best == i {
+                break;
+            }
+            self.swap(i, best);
+            i = best;
+        }
+    }
+
+    fn swap(&mut self, i: usize, j: usize) {
+        self.heap.swap(i, j);
+        self.position[self.heap[i].as_usize()] = i;
+        self.position[self.heap[j].as_usize()] = j;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_activity_order() {
+        let activity = vec![3.0, 1.0, 5.0, 2.0];
+        let mut h = VarHeap::new();
+        h.grow_to(4);
+        for i in 0..4 {
+            h.insert(Var::new(i), &activity);
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| h.pop(&activity))
+            .map(|v| v.index())
+            .collect();
+        assert_eq!(order, vec![2, 0, 3, 1]);
+    }
+
+    #[test]
+    fn insert_is_idempotent() {
+        let activity = vec![1.0, 2.0];
+        let mut h = VarHeap::new();
+        h.grow_to(2);
+        h.insert(Var::new(0), &activity);
+        h.insert(Var::new(0), &activity);
+        assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    fn update_reorders() {
+        let mut activity = vec![1.0, 2.0, 3.0];
+        let mut h = VarHeap::new();
+        h.grow_to(3);
+        for i in 0..3 {
+            h.insert(Var::new(i), &activity);
+        }
+        activity[0] = 10.0;
+        h.update(Var::new(0), &activity);
+        assert_eq!(h.pop(&activity), Some(Var::new(0)));
+    }
+
+    #[test]
+    fn contains_tracks_membership() {
+        let activity = vec![1.0];
+        let mut h = VarHeap::new();
+        h.grow_to(1);
+        assert!(!h.contains(Var::new(0)));
+        h.insert(Var::new(0), &activity);
+        assert!(h.contains(Var::new(0)));
+        h.pop(&activity);
+        assert!(!h.contains(Var::new(0)));
+        assert!(h.is_empty());
+    }
+}

@@ -1,0 +1,43 @@
+//! A CDCL SAT solver with resolution-proof logging.
+//!
+//! Built from scratch for the `resolution-cec` workspace: the paper's
+//! thesis is that a combinational-equivalence engine can emit a single
+//! checkable resolution proof, and that requires a solver whose every
+//! answer is accompanied by a derivation. This crate provides:
+//!
+//! - [`Solver`]: MiniSat-family CDCL (two-watched literals, VSIDS +
+//!   phase saving, 1UIP learning with recursive minimization, Luby
+//!   restarts, LBD-guided clause-database reduction, incremental
+//!   assumptions).
+//! - TraceCheck-style proof logging: original clauses become original
+//!   proof steps; learnt clauses, level-0 consequences, and final
+//!   conflicts under assumptions record chain-resolution antecedents,
+//!   reconstructed by trail replay (see [`Solver`] docs).
+//! - [`Solver::add_derived_clause`]: lets a client (the CEC engine)
+//!   inject externally derived lemmas — e.g. structural-hashing
+//!   equivalences — into both the clause database and the proof.
+//!
+//! # Example
+//!
+//! ```
+//! use sat::{SolveResult, Solver};
+//!
+//! let mut s = Solver::with_proof();
+//! let x = s.new_var();
+//! let y = s.new_var();
+//! s.add_clause(&[x.positive(), y.positive()]);
+//! s.add_clause(&[x.negative(), y.positive()]);
+//! s.add_clause(&[y.negative()]);
+//! assert_eq!(s.solve(), SolveResult::Unsat);
+//! proof::check::check_refutation(s.proof().unwrap()).unwrap();
+//! ```
+
+#![warn(missing_docs)]
+
+mod db;
+mod heap;
+mod luby;
+mod solver;
+
+pub use luby::luby;
+pub use solver::{SolveResult, Solver, SolverConfig, SolverStats};

@@ -1,0 +1,55 @@
+//! The Luby restart sequence.
+
+/// Returns the `i`-th element (1-based) of the Luby sequence
+/// `1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 …`, the universal restart schedule.
+///
+/// # Panics
+///
+/// Panics if `i == 0`.
+///
+/// # Example
+///
+/// ```
+/// use sat::luby;
+/// let prefix: Vec<u64> = (1..=9).map(luby).collect();
+/// assert_eq!(prefix, [1, 1, 2, 1, 1, 2, 4, 1, 1]);
+/// ```
+pub fn luby(i: u64) -> u64 {
+    assert!(i > 0, "luby sequence is 1-based");
+    // Find the subsequence containing i: if i = 2^k - 1, value is 2^(k-1);
+    // otherwise recurse on i - (2^(k-1) - 1) where 2^(k-1) - 1 < i < 2^k - 1.
+    let mut i = i;
+    loop {
+        if (i + 1).is_power_of_two() {
+            return i.div_ceil(2);
+        }
+        // 2^k <= i + 1 < 2^(k+1); recurse on the tail of the block.
+        let k = 63 - (i + 1).leading_zeros() as u64;
+        i -= (1u64 << k) - 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_prefix() {
+        let expect = [1u64, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8, 1];
+        for (i, &e) in expect.iter().enumerate() {
+            assert_eq!(luby(i as u64 + 1), e, "luby({})", i + 1);
+        }
+    }
+
+    #[test]
+    fn powers_appear_at_block_ends() {
+        assert_eq!(luby(31), 16);
+        assert_eq!(luby(63), 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "1-based")]
+    fn zero_rejected() {
+        luby(0);
+    }
+}

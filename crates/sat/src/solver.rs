@@ -1,0 +1,1326 @@
+//! A CDCL SAT solver with resolution-proof logging.
+//!
+//! The solver is a conventional conflict-driven clause-learning engine
+//! (two-watched-literal propagation, VSIDS decisions with phase saving,
+//! first-UIP learning with recursive clause minimization, Luby restarts,
+//! LBD-guided learnt-clause reduction, incremental solving under
+//! assumptions) with one addition that the paper requires: **every clause
+//! it ever holds carries a step in a [`proof::Proof`]**, and every learnt
+//! clause, every level-0 consequence, and every final conflict under
+//! assumptions records the antecedent chain by which it follows by chain
+//! resolution.
+//!
+//! The chain for a learnt clause is reconstructed after conflict
+//! analysis by *replaying* the implication trail: starting from the
+//! conflicting clause, literals not in the learnt clause are resolved
+//! out against their reason clauses in reverse trail order. This yields
+//! a regular input-resolution derivation that the independent checker in
+//! the `proof` crate verifies literally — including the effects of
+//! clause minimization, which only changes *which* literals get resolved
+//! out.
+
+use crate::db::{ClauseDb, ClauseRef};
+use crate::heap::VarHeap;
+use crate::luby::luby;
+use cnf::{Lit, Var};
+use proof::{ClauseId, Proof, StepRole};
+
+/// Outcome of a [`Solver::solve`] call.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SolveResult {
+    /// A satisfying assignment was found; see [`Solver::model_value`].
+    Sat,
+    /// The formula is unsatisfiable under the given assumptions; see
+    /// [`Solver::final_clause`].
+    Unsat,
+    /// The conflict budget (see [`Solver::set_conflict_budget`]) was
+    /// exhausted before a verdict. Learnt clauses are kept, so retrying
+    /// (or solving a different query) resumes from the progress made.
+    Unknown,
+}
+
+/// Tuning knobs for the solver.
+#[derive(Clone, Debug)]
+pub struct SolverConfig {
+    /// Record resolution proofs for every clause (the paper's mode).
+    pub proof_logging: bool,
+    /// Multiplicative VSIDS decay applied after each conflict.
+    pub var_decay: f64,
+    /// Multiplicative clause-activity decay applied after each conflict.
+    pub clause_decay: f32,
+    /// Base number of conflicts between restarts (scaled by Luby).
+    pub restart_base: u64,
+    /// Initial learnt-clause limit as a fraction of problem clauses.
+    pub learnt_size_factor: f64,
+    /// Growth factor of the learnt-clause limit at each reduction.
+    pub learnt_size_inc: f64,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        SolverConfig {
+            proof_logging: false,
+            var_decay: 0.95,
+            clause_decay: 0.999,
+            restart_base: 100,
+            learnt_size_factor: 1.0 / 3.0,
+            learnt_size_inc: 1.1,
+        }
+    }
+}
+
+/// Run counters, exposed for the experiment tables.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Number of conflicts encountered.
+    pub conflicts: u64,
+    /// Number of decisions made.
+    pub decisions: u64,
+    /// Number of literals propagated.
+    pub propagations: u64,
+    /// Number of restarts performed.
+    pub restarts: u64,
+    /// Number of learnt clauses (including later-deleted ones).
+    pub learnt: u64,
+    /// Number of learnt clauses deleted by reduction.
+    pub deleted: u64,
+    /// Number of `solve` calls.
+    pub solves: u64,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Watcher {
+    clause: ClauseRef,
+    blocker: Lit,
+}
+
+const UNDEF: u8 = 0;
+const TRUE: u8 = 1;
+const FALSE: u8 = 2;
+
+/// A proof-logging CDCL solver.
+///
+/// # Example
+///
+/// ```
+/// use cnf::Var;
+/// use sat::{SolveResult, Solver};
+///
+/// let mut s = Solver::with_proof();
+/// let x = s.new_var();
+/// let y = s.new_var();
+/// s.add_clause(&[x.positive(), y.positive()]);
+/// s.add_clause(&[x.negative()]);
+/// assert_eq!(s.solve(), SolveResult::Sat);
+/// assert!(s.model_value(y));
+///
+/// s.add_clause(&[y.negative()]);
+/// assert_eq!(s.solve(), SolveResult::Unsat);
+/// let proof = s.proof().expect("logging enabled");
+/// assert!(proof::check::check_refutation(proof).is_ok());
+/// ```
+#[derive(Debug)]
+pub struct Solver {
+    config: SolverConfig,
+    db: ClauseDb,
+    watches: Vec<Vec<Watcher>>,
+    // Per variable:
+    value: Vec<u8>,
+    reason: Vec<Option<ClauseRef>>,
+    level: Vec<u32>,
+    activity: Vec<f64>,
+    polarity: Vec<bool>,
+    seen: Vec<bool>,
+    // Trail:
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    // Decision order:
+    order: VarHeap,
+    var_inc: f64,
+    cla_inc: f32,
+    // Learnt DB sizing:
+    max_learnt: f64,
+    num_problem_clauses: usize,
+    // Analysis scratch:
+    analyze_stack: Vec<Lit>,
+    analyze_toclear: Vec<Lit>,
+    // Chain-replay scratch (lit-indexed):
+    mark_s: Vec<bool>,
+    mark_l: Vec<bool>,
+    chain_touched: Vec<Lit>,
+    // Proof and outcome:
+    proof: Option<Proof>,
+    conflict_budget: Option<u64>,
+    unsat: bool,
+    empty_id: Option<ClauseId>,
+    final_clause: Option<(Vec<Lit>, Option<ClauseId>)>,
+    saved_model: Option<Vec<bool>>,
+    stats: SolverStats,
+}
+
+impl Default for Solver {
+    fn default() -> Self {
+        Solver::new()
+    }
+}
+
+impl Solver {
+    /// Creates a solver without proof logging.
+    pub fn new() -> Self {
+        Solver::with_config(SolverConfig::default())
+    }
+
+    /// Creates a solver with resolution-proof logging enabled.
+    pub fn with_proof() -> Self {
+        Solver::with_config(SolverConfig {
+            proof_logging: true,
+            ..SolverConfig::default()
+        })
+    }
+
+    /// Creates a solver with explicit configuration.
+    pub fn with_config(config: SolverConfig) -> Self {
+        let proof = config.proof_logging.then(Proof::new);
+        Solver {
+            config,
+            db: ClauseDb::new(),
+            watches: Vec::new(),
+            value: Vec::new(),
+            reason: Vec::new(),
+            level: Vec::new(),
+            activity: Vec::new(),
+            polarity: Vec::new(),
+            seen: Vec::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            order: VarHeap::new(),
+            var_inc: 1.0,
+            cla_inc: 1.0,
+            max_learnt: 0.0,
+            num_problem_clauses: 0,
+            analyze_stack: Vec::new(),
+            analyze_toclear: Vec::new(),
+            mark_s: Vec::new(),
+            mark_l: Vec::new(),
+            chain_touched: Vec::new(),
+            proof,
+            conflict_budget: None,
+            unsat: false,
+            empty_id: None,
+            final_clause: None,
+            saved_model: None,
+            stats: SolverStats::default(),
+        }
+    }
+
+    /// Whether proof logging is enabled.
+    pub fn proof_logging(&self) -> bool {
+        self.proof.is_some()
+    }
+
+    /// Limits each subsequent `solve` call to at most `budget` conflicts;
+    /// `None` removes the limit. A budgeted call that runs out returns
+    /// [`SolveResult::Unknown`] and keeps all learnt clauses.
+    pub fn set_conflict_budget(&mut self, budget: Option<u64>) {
+        self.conflict_budget = budget;
+    }
+
+    /// The proof recorded so far, if logging is enabled.
+    pub fn proof(&self) -> Option<&Proof> {
+        self.proof.as_ref()
+    }
+
+    /// Consumes the solver and returns its proof, if logging.
+    pub fn into_proof(self) -> Option<Proof> {
+        self.proof
+    }
+
+    /// Tags a proof step with an advisory role (reporting metadata; see
+    /// [`proof::StepRole`]). No-op when logging is off.
+    pub fn tag_proof_step(&mut self, id: ClauseId, role: StepRole) {
+        if let Some(p) = &mut self.proof {
+            p.set_role(id, role);
+        }
+    }
+
+    /// Run counters.
+    pub fn stats(&self) -> &SolverStats {
+        &self.stats
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> u32 {
+        self.value.len() as u32
+    }
+
+    /// Number of live (non-deleted) clauses in the database.
+    pub fn num_clauses(&self) -> usize {
+        self.db.num_live()
+    }
+
+    /// Whether the clause set has been refuted outright (the proof
+    /// contains the empty clause); subsequent solves return `Unsat`
+    /// regardless of assumptions.
+    pub fn is_unsat(&self) -> bool {
+        self.unsat
+    }
+
+    /// The proof step of the empty clause, once derived.
+    pub fn empty_clause_id(&self) -> Option<ClauseId> {
+        self.empty_id
+    }
+
+    /// Allocates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var::new(self.value.len() as u32);
+        self.value.push(UNDEF);
+        self.reason.push(None);
+        self.level.push(0);
+        self.activity.push(0.0);
+        self.polarity.push(false);
+        self.seen.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.mark_s.push(false);
+        self.mark_s.push(false);
+        self.mark_l.push(false);
+        self.mark_l.push(false);
+        self.order.grow_to(self.value.len());
+        self.order.insert(v, &self.activity);
+        v
+    }
+
+    /// Ensures variables `0..n` exist.
+    pub fn ensure_vars(&mut self, n: u32) {
+        while self.num_vars() < n {
+            self.new_var();
+        }
+    }
+
+    #[inline]
+    fn lit_value(&self, l: Lit) -> u8 {
+        let v = self.value[l.var().as_usize()];
+        if v == UNDEF {
+            UNDEF
+        } else if (v == TRUE) != l.is_negative() {
+            TRUE
+        } else {
+            FALSE
+        }
+    }
+
+    #[inline]
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    /// Adds an input clause. Records it as an *original* proof step and
+    /// returns the step id (if logging). Returns `None` for tautologies
+    /// (which are skipped) or when logging is off.
+    ///
+    /// Adding a clause may immediately derive the empty clause (making
+    /// the solver permanently [`Solver::is_unsat`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a literal's variable has not been allocated.
+    pub fn add_clause(&mut self, lits: &[Lit]) -> Option<ClauseId> {
+        self.cancel_until(0);
+        let mut ls = lits.to_vec();
+        ls.sort_unstable();
+        ls.dedup();
+        for l in &ls {
+            assert!(
+                l.var().index() < self.num_vars(),
+                "literal variable not allocated"
+            );
+        }
+        if ls.windows(2).any(|w| w[0].var() == w[1].var()) {
+            return None; // tautology
+        }
+        let id = self.proof.as_mut().map(|p| p.add_original(ls.iter().copied()));
+        self.num_problem_clauses += 1;
+        self.insert_clause(ls, false, id);
+        id
+    }
+
+    /// Adds a clause *derived outside the solver* — the structural-hash
+    /// equivalence lemmas of the CEC engine. The clause is appended to
+    /// the proof as a derived step with the given antecedents and to the
+    /// database as a permanent clause.
+    ///
+    /// The derivation is not checked here; the independent checker will
+    /// reject an invalid chain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if proof logging is disabled, a variable is unallocated,
+    /// or the clause is empty or tautological.
+    pub fn add_derived_clause(&mut self, lits: &[Lit], antecedents: &[ClauseId]) -> ClauseId {
+        assert!(self.proof.is_some(), "derived clauses require proof logging");
+        self.cancel_until(0);
+        let mut ls = lits.to_vec();
+        ls.sort_unstable();
+        ls.dedup();
+        assert!(!ls.is_empty(), "empty derived clause must come from solving");
+        assert!(
+            ls.windows(2).all(|w| w[0].var() != w[1].var()),
+            "tautological derived clause"
+        );
+        let id = self
+            .proof
+            .as_mut()
+            .expect("checked above")
+            .add_derived(ls.iter().copied(), antecedents.iter().copied());
+        self.insert_clause(ls, false, Some(id));
+        id
+    }
+
+    /// Core clause insertion at decision level 0 (watch setup, unit
+    /// propagation, level-0 conflict handling).
+    fn insert_clause(&mut self, mut ls: Vec<Lit>, learnt: bool, id: Option<ClauseId>) {
+        debug_assert_eq!(self.decision_level(), 0);
+        if self.unsat {
+            return;
+        }
+        if ls.is_empty() {
+            self.unsat = true;
+            self.empty_id = id;
+            return;
+        }
+        // Order literals: non-false first.
+        ls.sort_by_key(|&l| match self.lit_value(l) {
+            UNDEF => 0u8,
+            TRUE => 1,
+            _ => 2,
+        });
+        if self.lit_value(ls[0]) == FALSE {
+            // Entire clause false at level 0: resolve it to the empty clause.
+            let chain_id = self.build_chain_from(&ls, id, &[]);
+            self.unsat = true;
+            self.empty_id = chain_id;
+            return;
+        }
+        let first = ls[0];
+        let unit = ls.len() == 1 || self.lit_value(ls[1]) == FALSE;
+        let r = self.db.add(ls, learnt, id);
+        if self.db.lits(r).len() >= 2 {
+            self.attach(r);
+        }
+        if unit && self.lit_value(first) == UNDEF {
+            let ok = self.enqueue(first, Some(r));
+            debug_assert!(ok);
+            if let Some(confl) = self.propagate() {
+                let lits: Vec<Lit> = self.db.lits(confl).to_vec();
+                let pid = self.db.proof_id(confl);
+                let chain_id = self.build_chain_from(&lits, pid, &[]);
+                self.unsat = true;
+                self.empty_id = chain_id;
+            }
+        }
+    }
+
+    fn attach(&mut self, r: ClauseRef) {
+        let lits = self.db.lits(r);
+        debug_assert!(lits.len() >= 2);
+        let (l0, l1) = (lits[0], lits[1]);
+        self.watches[(!l0).code() as usize].push(Watcher {
+            clause: r,
+            blocker: l1,
+        });
+        self.watches[(!l1).code() as usize].push(Watcher {
+            clause: r,
+            blocker: l0,
+        });
+    }
+
+    fn enqueue(&mut self, l: Lit, from: Option<ClauseRef>) -> bool {
+        match self.lit_value(l) {
+            TRUE => true,
+            FALSE => false,
+            _ => {
+                let v = l.var().as_usize();
+                self.value[v] = if l.is_negative() { FALSE } else { TRUE };
+                self.level[v] = self.decision_level();
+                self.reason[v] = from;
+                self.trail.push(l);
+                true
+            }
+        }
+    }
+
+    fn propagate(&mut self) -> Option<ClauseRef> {
+        let mut conflict = None;
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.stats.propagations += 1;
+            let mut ws = std::mem::take(&mut self.watches[p.code() as usize]);
+            let false_lit = !p;
+            let mut i = 0;
+            let mut j = 0;
+            'watches: while i < ws.len() {
+                let w = ws[i];
+                i += 1;
+                if self.lit_value(w.blocker) == TRUE {
+                    ws[j] = w;
+                    j += 1;
+                    continue;
+                }
+                if self.db.is_deleted(w.clause) {
+                    continue; // drop watcher of deleted clause
+                }
+                {
+                    let lits = self.db.lits_mut(w.clause);
+                    if lits[0] == false_lit {
+                        lits.swap(0, 1);
+                    }
+                    debug_assert_eq!(lits[1], false_lit);
+                }
+                let first = self.db.lits(w.clause)[0];
+                let w2 = Watcher {
+                    clause: w.clause,
+                    blocker: first,
+                };
+                if first != w.blocker && self.lit_value(first) == TRUE {
+                    ws[j] = w2;
+                    j += 1;
+                    continue;
+                }
+                // Search for a replacement watch.
+                let len = self.db.lits(w.clause).len();
+                for k in 2..len {
+                    let lk = self.db.lits(w.clause)[k];
+                    if self.lit_value(lk) != FALSE {
+                        self.db.lits_mut(w.clause).swap(1, k);
+                        self.watches[(!lk).code() as usize].push(w2);
+                        continue 'watches;
+                    }
+                }
+                // Unit or conflicting.
+                ws[j] = w2;
+                j += 1;
+                if self.lit_value(first) == FALSE {
+                    conflict = Some(w.clause);
+                    self.qhead = self.trail.len();
+                    while i < ws.len() {
+                        ws[j] = ws[i];
+                        j += 1;
+                        i += 1;
+                    }
+                    break 'watches;
+                }
+                let ok = self.enqueue(first, Some(w.clause));
+                debug_assert!(ok);
+            }
+            ws.truncate(j);
+            self.watches[p.code() as usize] = ws;
+            if conflict.is_some() {
+                break;
+            }
+        }
+        conflict
+    }
+
+    fn new_level(&mut self) {
+        self.trail_lim.push(self.trail.len());
+    }
+
+    fn cancel_until(&mut self, target: u32) {
+        if self.decision_level() <= target {
+            return;
+        }
+        let bound = self.trail_lim[target as usize];
+        for idx in (bound..self.trail.len()).rev() {
+            let l = self.trail[idx];
+            let v = l.var();
+            self.value[v.as_usize()] = UNDEF;
+            self.polarity[v.as_usize()] = l.is_negative();
+            self.order.insert(v, &self.activity);
+        }
+        self.trail.truncate(bound);
+        self.trail_lim.truncate(target as usize);
+        self.qhead = bound;
+    }
+
+    fn bump_var(&mut self, v: Var) {
+        self.activity[v.as_usize()] += self.var_inc;
+        if self.activity[v.as_usize()] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        self.order.update(v, &self.activity);
+    }
+
+    /// First-UIP conflict analysis with recursive minimization.
+    /// Returns `(learnt, backtrack_level, lbd)`; `learnt[0]` is the
+    /// asserting literal.
+    fn analyze(&mut self, confl: ClauseRef) -> (Vec<Lit>, u32, u32) {
+        let mut learnt: Vec<Lit> = vec![Lit::from_code(0)]; // slot for UIP
+        let mut counter = 0u32;
+        let mut p: Option<Lit> = None;
+        let mut clause = confl;
+        let mut index = self.trail.len();
+        let current = self.decision_level();
+
+        loop {
+            if self.db.is_learnt(clause) {
+                self.bump_clause(clause);
+            }
+            let start = if p.is_some() { 1 } else { 0 };
+            let len = self.db.lits(clause).len();
+            for k in start..len {
+                let q = self.db.lits(clause)[k];
+                let v = q.var();
+                if !self.seen[v.as_usize()] && self.level[v.as_usize()] > 0 {
+                    self.seen[v.as_usize()] = true;
+                    self.bump_var(v);
+                    if self.level[v.as_usize()] >= current {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Next clause to look at.
+            loop {
+                index -= 1;
+                if self.seen[self.trail[index].var().as_usize()] {
+                    break;
+                }
+            }
+            let pl = self.trail[index];
+            self.seen[pl.var().as_usize()] = false;
+            counter -= 1;
+            if counter == 0 {
+                learnt[0] = !pl;
+                break;
+            }
+            clause = self.reason[pl.var().as_usize()].expect("non-UIP literal has a reason");
+            p = Some(pl);
+        }
+
+        // Recursive minimization.
+        self.analyze_toclear.clear();
+        self.analyze_toclear.extend_from_slice(&learnt);
+        let abstract_levels = learnt[1..]
+            .iter()
+            .fold(0u32, |acc, l| acc | 1 << (self.level[l.var().as_usize()] & 31));
+        let mut keep = vec![true; learnt.len()];
+        for (i, &l) in learnt.iter().enumerate().skip(1) {
+            if self.reason[l.var().as_usize()].is_some() && self.lit_redundant(l, abstract_levels) {
+                keep[i] = false;
+            }
+        }
+        let mut filtered = Vec::with_capacity(learnt.len());
+        for (i, &l) in learnt.iter().enumerate() {
+            if keep[i] {
+                filtered.push(l);
+            }
+        }
+        let mut learnt = filtered;
+        for l in self.analyze_toclear.drain(..) {
+            self.seen[l.var().as_usize()] = false;
+        }
+
+        // Backtrack level: highest level among learnt[1..].
+        let bt = if learnt.len() == 1 {
+            0
+        } else {
+            let mut max_i = 1;
+            for i in 2..learnt.len() {
+                if self.level[learnt[i].var().as_usize()]
+                    > self.level[learnt[max_i].var().as_usize()]
+                {
+                    max_i = i;
+                }
+            }
+            learnt.swap(1, max_i);
+            self.level[learnt[1].var().as_usize()]
+        };
+
+        // LBD: number of distinct decision levels.
+        let mut levels: Vec<u32> = learnt
+            .iter()
+            .map(|l| self.level[l.var().as_usize()])
+            .collect();
+        levels.sort_unstable();
+        levels.dedup();
+        let lbd = levels.len() as u32;
+
+        (learnt, bt, lbd)
+    }
+
+    fn lit_redundant(&mut self, l: Lit, abstract_levels: u32) -> bool {
+        self.analyze_stack.clear();
+        self.analyze_stack.push(l);
+        let top = self.analyze_toclear.len();
+        while let Some(q) = self.analyze_stack.pop() {
+            let r = self.reason[q.var().as_usize()].expect("stacked literal has a reason");
+            let len = self.db.lits(r).len();
+            for k in 1..len {
+                let x = self.db.lits(r)[k];
+                let v = x.var();
+                if !self.seen[v.as_usize()] && self.level[v.as_usize()] > 0 {
+                    if self.reason[v.as_usize()].is_some()
+                        && (1u32 << (self.level[v.as_usize()] & 31)) & abstract_levels != 0
+                    {
+                        self.seen[v.as_usize()] = true;
+                        self.analyze_stack.push(x);
+                        self.analyze_toclear.push(x);
+                    } else {
+                        for &y in &self.analyze_toclear[top..] {
+                            self.seen[y.var().as_usize()] = false;
+                        }
+                        self.analyze_toclear.truncate(top);
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    fn bump_clause(&mut self, r: ClauseRef) {
+        if self.db.bump(r, self.cla_inc) {
+            self.db.rescale(1e-20);
+            self.cla_inc *= 1e-20;
+        }
+    }
+
+    /// Reconstructs a chain-resolution derivation of `target` from the
+    /// clause `start` (with proof id `start_id`) and the reason clauses
+    /// on the trail, and records it in the proof. Returns the new step
+    /// id (or `None` when logging is off).
+    ///
+    /// Precondition: every literal of `start` is false under the current
+    /// assignment, and every literal that must be resolved out has a
+    /// reason clause.
+    fn build_chain_from(
+        &mut self,
+        start: &[Lit],
+        start_id: Option<ClauseId>,
+        target: &[Lit],
+    ) -> Option<ClauseId> {
+        self.proof.as_ref()?;
+        let mut chain = vec![start_id.expect("proof id missing on start clause")];
+        debug_assert!(self.chain_touched.is_empty());
+        for &l in target {
+            self.mark_l[l.code() as usize] = true;
+        }
+        let mut remaining = 0usize;
+        for &l in start {
+            if !self.mark_s[l.code() as usize] {
+                self.mark_s[l.code() as usize] = true;
+                self.chain_touched.push(l);
+                if !self.mark_l[l.code() as usize] {
+                    remaining += 1;
+                }
+            }
+        }
+        for idx in (0..self.trail.len()).rev() {
+            if remaining == 0 {
+                break;
+            }
+            let p = self.trail[idx];
+            let np = !p;
+            if !self.mark_s[np.code() as usize] || self.mark_l[np.code() as usize] {
+                continue;
+            }
+            let r = self.reason[p.var().as_usize()]
+                .expect("chain replay: resolved literal must have a reason");
+            chain.push(
+                self.db
+                    .proof_id(r)
+                    .expect("proof id missing on reason clause"),
+            );
+            self.mark_s[np.code() as usize] = false;
+            remaining -= 1;
+            let len = self.db.lits(r).len();
+            debug_assert_eq!(self.db.lits(r)[0], p, "reason clause invariant");
+            for k in 1..len {
+                let q = self.db.lits(r)[k];
+                if !self.mark_s[q.code() as usize] {
+                    self.mark_s[q.code() as usize] = true;
+                    self.chain_touched.push(q);
+                    if !self.mark_l[q.code() as usize] {
+                        remaining += 1;
+                    }
+                }
+            }
+        }
+        debug_assert_eq!(remaining, 0, "chain replay left unresolved literals");
+        for l in self.chain_touched.drain(..) {
+            self.mark_s[l.code() as usize] = false;
+        }
+        for &l in target {
+            self.mark_l[l.code() as usize] = false;
+        }
+        let p = self.proof.as_mut().expect("checked at entry");
+        let id = p.add_derived(target.iter().copied(), chain);
+        p.set_role(id, StepRole::Learned);
+        Some(id)
+    }
+
+    /// Computes the final conflict clause when assumption `failed` is
+    /// falsified, together with its derivation.
+    fn analyze_final(&mut self, failed: Lit) -> (Vec<Lit>, Option<ClauseId>) {
+        let Some(r0) = self.reason[failed.var().as_usize()] else {
+            // ¬failed is itself an assumption decision: the conflict
+            // clause is the tautology (failed ∨ ¬failed), which has no
+            // resolution derivation. This only happens with
+            // contradictory assumption lists.
+            return (vec![failed, !failed], None);
+        };
+        // Collect the involved assumption negations.
+        let mut out = vec![!failed];
+        if self.decision_level() > 0 {
+            self.seen[failed.var().as_usize()] = true;
+            for idx in (self.trail_lim[0]..self.trail.len()).rev() {
+                let x = self.trail[idx];
+                let v = x.var();
+                if !self.seen[v.as_usize()] {
+                    continue;
+                }
+                self.seen[v.as_usize()] = false;
+                match self.reason[v.as_usize()] {
+                    None => {
+                        if x != !failed {
+                            out.push(!x);
+                        }
+                    }
+                    Some(r) => {
+                        let len = self.db.lits(r).len();
+                        for k in 1..len {
+                            let q = self.db.lits(r)[k];
+                            if self.level[q.var().as_usize()] > 0 {
+                                self.seen[q.var().as_usize()] = true;
+                            }
+                        }
+                    }
+                }
+            }
+            self.seen[failed.var().as_usize()] = false;
+        }
+        out.sort_unstable();
+        out.dedup();
+        let start: Vec<Lit> = self.db.lits(r0).to_vec();
+        let pid = self.db.proof_id(r0);
+        let id = self.build_chain_from(&start, pid, &out);
+        if let Some(id) = id {
+            self.tag_proof_step(id, StepRole::FinalConflict);
+        }
+        (out, id)
+    }
+
+    /// The conflict clause of the last `Unsat` answer: a clause over the
+    /// negations of the failed assumptions (empty for an outright
+    /// refutation), plus its proof step when logging.
+    pub fn final_clause(&self) -> Option<(&[Lit], Option<ClauseId>)> {
+        self.final_clause.as_ref().map(|(c, id)| (c.as_slice(), *id))
+    }
+
+    /// Adds the last final conflict clause permanently to the clause
+    /// database (no new proof step — it is already derived). This is how
+    /// the CEC engine turns a per-pair UNSAT answer into a reusable
+    /// equivalence lemma. Returns its proof id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there is no final clause (last solve was SAT or never
+    /// ran) or if the final clause is the unusable tautology produced by
+    /// contradictory assumptions.
+    pub fn commit_final_clause(&mut self) -> Option<ClauseId> {
+        let (lits, id) = self
+            .final_clause
+            .clone()
+            .expect("no final conflict clause available");
+        assert!(
+            lits.windows(2).all(|w| w[0].var() != w[1].var()),
+            "cannot commit a tautological final clause"
+        );
+        self.cancel_until(0);
+        if !lits.is_empty() {
+            self.insert_clause(lits, false, id);
+        }
+        id
+    }
+
+    /// Value of `v` in the last satisfying model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the last solve did not return [`SolveResult::Sat`].
+    pub fn model_value(&self, v: Var) -> bool {
+        self.saved_model.as_ref().expect("no model: last solve was not SAT")[v.as_usize()]
+    }
+
+    /// The last satisfying model (indexed by variable), if any.
+    pub fn model(&self) -> Option<&[bool]> {
+        self.saved_model.as_deref()
+    }
+
+    /// Solves the current formula without assumptions.
+    pub fn solve(&mut self) -> SolveResult {
+        self.solve_with(&[])
+    }
+
+    /// Solves under the given assumption literals.
+    ///
+    /// On `Unsat`, [`Solver::final_clause`] holds a clause over the
+    /// negations of the assumptions actually used (empty if the formula
+    /// is unsatisfiable outright).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an assumption variable has not been allocated.
+    pub fn solve_with(&mut self, assumptions: &[Lit]) -> SolveResult {
+        self.stats.solves += 1;
+        self.saved_model = None;
+        self.final_clause = None;
+        for a in assumptions {
+            assert!(
+                a.var().index() < self.num_vars(),
+                "assumption variable not allocated"
+            );
+        }
+        self.cancel_until(0);
+        if self.unsat {
+            self.final_clause = Some((Vec::new(), self.empty_id));
+            return SolveResult::Unsat;
+        }
+        if self.max_learnt == 0.0 {
+            self.max_learnt =
+                (self.num_problem_clauses as f64 * self.config.learnt_size_factor).max(100.0);
+        }
+
+        let mut restart_count = 0u64;
+        let mut conflicts_since_restart = 0u64;
+        let mut conflicts_this_call = 0u64;
+        let mut budget = self.config.restart_base * luby(1);
+
+        loop {
+            if let Some(confl) = self.propagate() {
+                self.stats.conflicts += 1;
+                conflicts_since_restart += 1;
+                conflicts_this_call += 1;
+                if self.decision_level() == 0 {
+                    let lits: Vec<Lit> = self.db.lits(confl).to_vec();
+                    let pid = self.db.proof_id(confl);
+                    self.empty_id = self.build_chain_from(&lits, pid, &[]);
+                    self.unsat = true;
+                    self.final_clause = Some((Vec::new(), self.empty_id));
+                    return SolveResult::Unsat;
+                }
+                let (learnt, bt, lbd) = self.analyze(confl);
+                // Record the derivation before unwinding the trail.
+                let start: Vec<Lit> = self.db.lits(confl).to_vec();
+                let pid = self.db.proof_id(confl);
+                let id = self.build_chain_from(&start, pid, &learnt);
+                self.cancel_until(bt);
+                self.stats.learnt += 1;
+                if learnt.len() == 1 {
+                    // Unit learnt clause: assert at level 0.
+                    let l = learnt[0];
+                    let r = self.db.add(learnt, true, id);
+                    self.db.set_lbd(r, lbd);
+                    let ok = self.enqueue(l, Some(r));
+                    debug_assert!(ok);
+                } else {
+                    let l0 = learnt[0];
+                    let r = self.db.add(learnt, true, id);
+                    self.db.set_lbd(r, lbd);
+                    self.attach(r);
+                    let ok = self.enqueue(l0, Some(r));
+                    debug_assert!(ok);
+                }
+                self.var_inc /= self.config.var_decay;
+                self.cla_inc /= self.config.clause_decay;
+            } else {
+                // No conflict.
+                if let Some(limit) = self.conflict_budget {
+                    if conflicts_this_call >= limit {
+                        self.cancel_until(0);
+                        return SolveResult::Unknown;
+                    }
+                }
+                if conflicts_since_restart >= budget {
+                    self.stats.restarts += 1;
+                    restart_count += 1;
+                    conflicts_since_restart = 0;
+                    budget = self.config.restart_base * luby(restart_count + 1);
+                    self.cancel_until(0);
+                    continue;
+                }
+                if self.db.num_learnt() as f64 > self.max_learnt {
+                    self.reduce_db();
+                    self.max_learnt *= self.config.learnt_size_inc;
+                }
+                let lvl = self.decision_level() as usize;
+                if lvl < assumptions.len() {
+                    let p = assumptions[lvl];
+                    match self.lit_value(p) {
+                        TRUE => {
+                            self.new_level();
+                        }
+                        FALSE => {
+                            let (clause, id) = self.analyze_final(p);
+                            self.cancel_until(0);
+                            self.final_clause = Some((clause, id));
+                            return SolveResult::Unsat;
+                        }
+                        _ => {
+                            self.new_level();
+                            let ok = self.enqueue(p, None);
+                            debug_assert!(ok);
+                        }
+                    }
+                } else {
+                    // Regular decision.
+                    let next = loop {
+                        match self.order.pop(&self.activity) {
+                            None => break None,
+                            Some(v) => {
+                                if self.value[v.as_usize()] == UNDEF {
+                                    break Some(v);
+                                }
+                            }
+                        }
+                    };
+                    match next {
+                        None => {
+                            // All variables assigned: model found.
+                            self.stats.decisions += 0;
+                            let model: Vec<bool> =
+                                self.value.iter().map(|&v| v == TRUE).collect();
+                            self.saved_model = Some(model);
+                            self.cancel_until(0);
+                            return SolveResult::Sat;
+                        }
+                        Some(v) => {
+                            self.stats.decisions += 1;
+                            let l = v.lit(self.polarity[v.as_usize()]);
+                            self.new_level();
+                            let ok = self.enqueue(l, None);
+                            debug_assert!(ok);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn reduce_db(&mut self) {
+        let mut refs = self.db.learnt_refs();
+        // Delete the worst half: high LBD first, then low activity.
+        refs.sort_by(|&a, &b| {
+            self.db
+                .lbd(b)
+                .cmp(&self.db.lbd(a))
+                .then(
+                    self.db
+                        .activity(a)
+                        .partial_cmp(&self.db.activity(b))
+                        .unwrap_or(std::cmp::Ordering::Equal),
+                )
+        });
+        let target = refs.len() / 2;
+        let mut deleted = 0;
+        for &r in &refs {
+            if deleted >= target {
+                break;
+            }
+            if self.db.lbd(r) <= 2 || self.is_locked(r) {
+                continue;
+            }
+            self.db.delete(r);
+            deleted += 1;
+            self.stats.deleted += 1;
+        }
+    }
+
+    fn is_locked(&self, r: ClauseRef) -> bool {
+        let l0 = self.db.lits(r)[0];
+        self.lit_value(l0) == TRUE && self.reason[l0.var().as_usize()] == Some(r)
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)] // test builders index parallel tables
+mod tests {
+    use super::*;
+
+    fn lits(solver_vars: &[Var], xs: &[i32]) -> Vec<Lit> {
+        xs.iter()
+            .map(|&v| solver_vars[(v.unsigned_abs() - 1) as usize].lit(v < 0))
+            .collect()
+    }
+
+    fn vars(s: &mut Solver, n: usize) -> Vec<Var> {
+        (0..n).map(|_| s.new_var()).collect()
+    }
+
+    #[test]
+    fn trivial_sat() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 2);
+        s.add_clause(&lits(&v, &[1, 2]));
+        assert_eq!(s.solve(), SolveResult::Sat);
+        let m = s.model().unwrap();
+        assert!(m[0] || m[1]);
+    }
+
+    #[test]
+    fn trivial_unsat() {
+        let mut s = Solver::with_proof();
+        let v = vars(&mut s, 1);
+        s.add_clause(&lits(&v, &[1]));
+        s.add_clause(&lits(&v, &[-1]));
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        assert!(s.is_unsat());
+        let p = s.proof().unwrap();
+        assert!(proof::check::check_refutation(p).is_ok());
+    }
+
+    #[test]
+    fn empty_clause_input() {
+        let mut s = Solver::with_proof();
+        s.add_clause(&[]);
+        assert!(s.is_unsat());
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn unsat_without_assumptions_has_empty_final() {
+        let mut s = Solver::with_proof();
+        let v = vars(&mut s, 2);
+        s.add_clause(&lits(&v, &[1, 2]));
+        s.add_clause(&lits(&v, &[1, -2]));
+        s.add_clause(&lits(&v, &[-1, 2]));
+        s.add_clause(&lits(&v, &[-1, -2]));
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        let (fc, id) = s.final_clause().unwrap();
+        assert!(fc.is_empty());
+        assert!(id.is_some());
+        assert!(proof::check::check_refutation(s.proof().unwrap()).is_ok());
+    }
+
+    #[test]
+    fn assumptions_sat_and_unsat() {
+        let mut s = Solver::with_proof();
+        let v = vars(&mut s, 2);
+        // x -> y
+        s.add_clause(&lits(&v, &[-1, 2]));
+        assert_eq!(s.solve_with(&lits(&v, &[1])), SolveResult::Sat);
+        assert!(s.model_value(v[1]));
+        assert_eq!(s.solve_with(&lits(&v, &[1, -2])), SolveResult::Unsat);
+        let (fc, id) = s.final_clause().unwrap();
+        // Final clause over negated assumptions: ¬x ∨ y.
+        assert_eq!(fc.len(), 2);
+        assert!(id.is_some());
+        // Formula itself still satisfiable.
+        assert!(!s.is_unsat());
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert!(proof::check::check_strict(s.proof().unwrap()).is_ok());
+    }
+
+    #[test]
+    fn committed_final_clause_is_usable() {
+        let mut s = Solver::with_proof();
+        let v = vars(&mut s, 3);
+        s.add_clause(&lits(&v, &[-1, 2]));
+        s.add_clause(&lits(&v, &[-2, 3]));
+        // x ∧ ¬z is contradictory.
+        assert_eq!(s.solve_with(&lits(&v, &[1, -3])), SolveResult::Unsat);
+        let id = s.commit_final_clause();
+        assert!(id.is_some());
+        // The lemma (¬x ∨ z) is now in the database: asserting x forces z.
+        assert_eq!(s.solve_with(&lits(&v, &[1])), SolveResult::Sat);
+        assert!(s.model_value(v[2]));
+        assert!(proof::check::check_strict(s.proof().unwrap()).is_ok());
+    }
+
+    #[test]
+    fn contradictory_assumptions() {
+        let mut s = Solver::with_proof();
+        let v = vars(&mut s, 1);
+        assert_eq!(s.solve_with(&lits(&v, &[1, -1])), SolveResult::Unsat);
+        let (fc, id) = s.final_clause().unwrap();
+        assert_eq!(fc.len(), 2);
+        assert!(id.is_none(), "tautology has no resolution derivation");
+    }
+
+    #[test]
+    fn derived_clause_round_trip() {
+        let mut s = Solver::with_proof();
+        let v = vars(&mut s, 2);
+        let c1 = s.add_clause(&lits(&v, &[1, 2])).unwrap();
+        let c2 = s.add_clause(&lits(&v, &[1, -2])).unwrap();
+        // (x) follows by resolution on y.
+        s.add_derived_clause(&lits(&v, &[1]), &[c1, c2]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert!(s.model_value(v[0]));
+        assert!(proof::check::check_strict(s.proof().unwrap()).is_ok());
+        assert!(proof::check::check_rup(s.proof().unwrap()).is_ok());
+    }
+
+    #[test]
+    fn tautology_skipped() {
+        let mut s = Solver::with_proof();
+        let v = vars(&mut s, 1);
+        assert!(s.add_clause(&lits(&v, &[1, -1])).is_none());
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn duplicate_literals_deduped() {
+        let mut s = Solver::with_proof();
+        let v = vars(&mut s, 1);
+        s.add_clause(&lits(&v, &[1, 1, 1]));
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert!(s.model_value(v[0]));
+    }
+
+    /// Pigeonhole principle PHP(n+1, n): n+1 pigeons, n holes — UNSAT,
+    /// requires real conflict analysis and learning.
+    fn pigeonhole(s: &mut Solver, pigeons: usize, holes: usize) {
+        let mut var = vec![vec![Var::new(0); holes]; pigeons];
+        for p in 0..pigeons {
+            for h in 0..holes {
+                var[p][h] = s.new_var();
+            }
+        }
+        for p in 0..pigeons {
+            let clause: Vec<Lit> = (0..holes).map(|h| var[p][h].positive()).collect();
+            s.add_clause(&clause);
+        }
+        for h in 0..holes {
+            for p1 in 0..pigeons {
+                for p2 in p1 + 1..pigeons {
+                    s.add_clause(&[var[p1][h].negative(), var[p2][h].negative()]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pigeonhole_unsat_with_checked_proof() {
+        for n in 2..=5 {
+            let mut s = Solver::with_proof();
+            pigeonhole(&mut s, n + 1, n);
+            assert_eq!(s.solve(), SolveResult::Unsat, "php({}, {})", n + 1, n);
+            let p = s.proof().unwrap();
+            proof::check::check_refutation(p).expect("proof must check");
+        }
+    }
+
+    #[test]
+    fn pigeonhole_sat_when_enough_holes() {
+        let mut s = Solver::new();
+        pigeonhole(&mut s, 4, 4);
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn stats_progress() {
+        let mut s = Solver::with_proof();
+        pigeonhole(&mut s, 5, 4);
+        s.solve();
+        let st = s.stats();
+        assert!(st.conflicts > 0);
+        assert!(st.propagations > 0);
+        assert_eq!(st.solves, 1);
+    }
+
+    #[test]
+    fn incremental_reuse_after_unsat_assumptions() {
+        let mut s = Solver::with_proof();
+        let v = vars(&mut s, 4);
+        s.add_clause(&lits(&v, &[-1, 2]));
+        s.add_clause(&lits(&v, &[-2, 3]));
+        s.add_clause(&lits(&v, &[-3, 4]));
+        for _ in 0..3 {
+            assert_eq!(s.solve_with(&lits(&v, &[1, -4])), SolveResult::Unsat);
+            assert_eq!(s.solve_with(&lits(&v, &[1, 4])), SolveResult::Sat);
+        }
+        assert!(proof::check::check_strict(s.proof().unwrap()).is_ok());
+    }
+
+    #[test]
+    fn clause_db_reduction_fires_and_stays_sound() {
+        // Force aggressive reduction with a tiny learnt limit, then make
+        // sure the verdict and the proof are still right.
+        let mut s = Solver::with_config(SolverConfig {
+            proof_logging: true,
+            learnt_size_factor: 0.001,
+            learnt_size_inc: 1.01,
+            ..SolverConfig::default()
+        });
+        pigeonhole(&mut s, 7, 6);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        assert!(s.stats().deleted > 0, "reduction never fired");
+        proof::check::check_refutation(s.proof().unwrap()).unwrap();
+    }
+
+    #[test]
+    fn restarts_fire_with_small_base() {
+        let mut s = Solver::with_config(SolverConfig {
+            restart_base: 2,
+            ..SolverConfig::default()
+        });
+        pigeonhole(&mut s, 6, 5);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        assert!(s.stats().restarts > 0, "restarts never fired");
+    }
+
+    #[test]
+    fn adding_clauses_after_solving_works() {
+        let mut s = Solver::with_proof();
+        let v = vars(&mut s, 3);
+        s.add_clause(&lits(&v, &[1, 2]));
+        assert_eq!(s.solve(), SolveResult::Sat);
+        s.add_clause(&lits(&v, &[-1]));
+        s.add_clause(&lits(&v, &[-2, 3]));
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert!(s.model_value(v[1]));
+        assert!(s.model_value(v[2]));
+        s.add_clause(&lits(&v, &[-3]));
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        proof::check::check_refutation(s.proof().unwrap()).unwrap();
+    }
+
+    #[test]
+    fn conflict_budget_yields_unknown_then_resumes() {
+        let mut s = Solver::with_proof();
+        pigeonhole(&mut s, 7, 6);
+        s.set_conflict_budget(Some(5));
+        assert_eq!(s.solve(), SolveResult::Unknown);
+        assert!(!s.is_unsat(), "unknown must not claim a verdict");
+        // Remove the budget: the verdict is reached and the proof —
+        // including clauses learnt during the budgeted attempt — checks.
+        s.set_conflict_budget(None);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        proof::check::check_refutation(s.proof().unwrap()).unwrap();
+    }
+
+    #[test]
+    fn generous_budget_does_not_change_verdict() {
+        let mut s = Solver::new();
+        pigeonhole(&mut s, 4, 4);
+        s.set_conflict_budget(Some(1_000_000));
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn model_covers_all_vars() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 3);
+        s.add_clause(&lits(&v, &[1]));
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.model().unwrap().len(), 3);
+    }
+}

@@ -1,0 +1,198 @@
+//! Randomized cross-validation of the solver.
+//!
+//! Random small 3-SAT instances are solved and compared against a brute
+//! force enumeration; every UNSAT answer must come with a resolution
+//! proof that passes both the strict chain checker and the RUP checker.
+
+use cnf::{Lit, Var};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use sat::{SolveResult, Solver};
+
+fn random_instance(num_vars: u32, num_clauses: usize, seed: u64) -> Vec<Vec<Lit>> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..num_clauses)
+        .map(|_| {
+            let len = rng.gen_range(1..=3);
+            (0..len)
+                .map(|_| Var::new(rng.gen_range(0..num_vars)).lit(rng.gen()))
+                .collect()
+        })
+        .collect()
+}
+
+fn brute_force_sat(num_vars: u32, clauses: &[Vec<Lit>]) -> bool {
+    for bits in 0..(1u64 << num_vars) {
+        let assignment: Vec<bool> = (0..num_vars).map(|i| bits >> i & 1 == 1).collect();
+        if clauses.iter().all(|c| {
+            c.iter()
+                .any(|l| assignment[l.var().as_usize()] ^ l.is_negative())
+        }) {
+            return true;
+        }
+    }
+    false
+}
+
+#[test]
+fn solver_agrees_with_brute_force() {
+    let mut sat_count = 0;
+    let mut unsat_count = 0;
+    for seed in 0..300 {
+        let num_vars = 4 + (seed % 5) as u32;
+        let num_clauses = 3 + (seed as usize * 7) % 40;
+        let clauses = random_instance(num_vars, num_clauses, seed);
+        let expect = brute_force_sat(num_vars, &clauses);
+
+        let mut s = Solver::with_proof();
+        s.ensure_vars(num_vars);
+        for c in &clauses {
+            s.add_clause(c);
+        }
+        let got = s.solve();
+        assert_eq!(
+            got == SolveResult::Sat,
+            expect,
+            "seed {seed}: solver disagrees with brute force"
+        );
+        match got {
+            SolveResult::Unknown => unreachable!("no budget set"),
+            SolveResult::Sat => {
+                sat_count += 1;
+                // The model must satisfy every clause.
+                let m = s.model().expect("model on SAT");
+                for c in &clauses {
+                    assert!(
+                        c.iter().any(|l| m[l.var().as_usize()] ^ l.is_negative()),
+                        "seed {seed}: model violates clause"
+                    );
+                }
+            }
+            SolveResult::Unsat => {
+                unsat_count += 1;
+                let p = s.proof().expect("proof logging on");
+                proof::check::check_refutation(p)
+                    .unwrap_or_else(|e| panic!("seed {seed}: bad proof: {e}"));
+                proof::check::check_rup(p)
+                    .unwrap_or_else(|e| panic!("seed {seed}: RUP rejects proof: {e}"));
+            }
+        }
+    }
+    // Make sure the distribution actually exercises both paths.
+    assert!(sat_count > 20, "too few SAT instances ({sat_count})");
+    assert!(unsat_count > 20, "too few UNSAT instances ({unsat_count})");
+}
+
+#[test]
+fn incremental_assumption_lemmas_agree_with_brute_force() {
+    for seed in 300..400 {
+        let num_vars = 5;
+        let num_clauses = 8 + (seed as usize) % 12;
+        let clauses = random_instance(num_vars, num_clauses, seed);
+        let mut s = Solver::with_proof();
+        s.ensure_vars(num_vars);
+        for c in &clauses {
+            s.add_clause(c);
+        }
+        // Try every single-literal assumption, committing each lemma.
+        for v in 0..num_vars {
+            for sign in [false, true] {
+                if s.is_unsat() {
+                    continue;
+                }
+                let a = Var::new(v).lit(sign);
+                let mut with_assumption = clauses.clone();
+                with_assumption.push(vec![a]);
+                let expect = brute_force_sat(num_vars, &with_assumption);
+                let got = s.solve_with(&[a]);
+                assert_eq!(
+                    got == SolveResult::Sat,
+                    expect,
+                    "seed {seed}, assumption {a:?}"
+                );
+                if got == SolveResult::Unsat {
+                    let (fc, id) = s.final_clause().expect("final clause on unsat");
+                    assert!(fc.len() <= 1, "final clause over one assumption");
+                    if id.is_some() && !fc.is_empty() {
+                        s.commit_final_clause();
+                    }
+                }
+            }
+        }
+        let p = s.proof().expect("proof logging on");
+        proof::check::check_strict(p)
+            .unwrap_or_else(|e| panic!("seed {seed}: bad incremental proof: {e}"));
+    }
+}
+
+#[test]
+fn multi_assumption_sets_agree_with_brute_force() {
+    for seed in 600..680 {
+        let num_vars = 6;
+        let clauses = random_instance(num_vars, 10 + (seed as usize) % 15, seed);
+        let mut s = Solver::with_proof();
+        s.ensure_vars(num_vars);
+        for c in &clauses {
+            s.add_clause(c);
+        }
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xABCD);
+        for _round in 0..6 {
+            if s.is_unsat() {
+                break;
+            }
+            let k = rng.gen_range(0..=3usize);
+            let assumptions: Vec<Lit> = (0..k)
+                .map(|_| Var::new(rng.gen_range(0..num_vars)).lit(rng.gen()))
+                .collect();
+            let mut with_assumptions = clauses.clone();
+            for &a in &assumptions {
+                with_assumptions.push(vec![a]);
+            }
+            let expect = brute_force_sat(num_vars, &with_assumptions);
+            let got = s.solve_with(&assumptions);
+            assert_eq!(
+                got == SolveResult::Sat,
+                expect,
+                "seed {seed}, assumptions {assumptions:?}"
+            );
+            if got == SolveResult::Unsat {
+                let (fc, id) = s.final_clause().expect("final clause");
+                // The final clause must be over negated assumptions only.
+                for l in fc {
+                    assert!(
+                        assumptions.contains(&!*l),
+                        "seed {seed}: final literal {l:?} not a negated assumption"
+                    );
+                }
+                // Commit reusable lemmas when derivable.
+                if id.is_some()
+                    && !fc.is_empty()
+                    && fc.windows(2).all(|w| w[0].var() != w[1].var())
+                {
+                    s.commit_final_clause();
+                }
+            }
+        }
+        proof::check::check_strict(s.proof().unwrap())
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+    }
+}
+
+#[test]
+fn trimmed_proofs_still_check() {
+    for seed in 500..560 {
+        let clauses = random_instance(5, 30 + (seed as usize % 20), seed);
+        let mut s = Solver::with_proof();
+        s.ensure_vars(5);
+        for c in &clauses {
+            s.add_clause(c);
+        }
+        if s.solve() == SolveResult::Unsat {
+            let p = s.proof().unwrap();
+            let t = proof::trim_refutation(p);
+            assert!(t.proof.len() <= p.len());
+            proof::check::check_refutation(&t.proof)
+                .unwrap_or_else(|e| panic!("seed {seed}: trimmed proof rejected: {e}"));
+        }
+    }
+}
