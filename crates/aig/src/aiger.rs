@@ -320,11 +320,10 @@ fn build_graph(
     std::mem::swap(&mut out, &mut g);
     for &ol in output_lits {
         let var = (ol / 2) as usize;
-        let base = map
-            .get(var)
-            .copied()
-            .flatten()
-            .ok_or_else(|| ParseAigerError::Format(format!("output references undefined {var}")))?;
+        let base =
+            map.get(var).copied().flatten().ok_or_else(|| {
+                ParseAigerError::Format(format!("output references undefined {var}"))
+            })?;
         out.add_output(base.xor_complement(ol % 2 == 1));
     }
     out.check().map_err(ParseAigerError::Format)?;

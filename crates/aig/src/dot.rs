@@ -44,11 +44,7 @@ pub fn write_dot<W: Write>(aig: &Aig, mut w: W) -> io::Result<()> {
                 writeln!(w, "  n0 [label=\"0\", shape=box, style=filled];")?;
             }
             Node::Input { index } => {
-                writeln!(
-                    w,
-                    "  n{} [label=\"i{index}\", shape=box];",
-                    id.index()
-                )?;
+                writeln!(w, "  n{} [label=\"i{index}\", shape=box];", id.index())?;
             }
             Node::And { a, b } => {
                 writeln!(w, "  n{} [label=\"∧\", shape=circle];", id.index())?;
@@ -58,12 +54,7 @@ pub fn write_dot<W: Write>(aig: &Aig, mut w: W) -> io::Result<()> {
                     } else {
                         ""
                     };
-                    writeln!(
-                        w,
-                        "  n{} -> n{}{style};",
-                        fanin.node().index(),
-                        id.index()
-                    )?;
+                    writeln!(w, "  n{} -> n{}{style};", fanin.node().index(), id.index())?;
                 }
             }
         }

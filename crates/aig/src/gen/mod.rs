@@ -22,14 +22,13 @@ mod random;
 mod shift;
 
 pub use adders::{
-    brent_kung_adder, carry_select_adder, carry_skip_adder, kogge_stone_adder,
-    ripple_carry_adder,
+    brent_kung_adder, carry_select_adder, carry_skip_adder, kogge_stone_adder, ripple_carry_adder,
 };
+pub use alu::{alu, AluArch};
 pub use encode::{
     decoder_flat, decoder_split, popcount_csa, popcount_serial, priority_encoder_chain,
     priority_encoder_onehot,
 };
-pub use alu::{alu, AluArch};
 pub use misc::{comparator_ripple, comparator_subtract, majority, parity_chain, parity_tree};
 pub use mult::{array_multiplier, carry_save_multiplier};
 pub use mutate::mutate;

@@ -21,7 +21,11 @@ pub fn barrel_shifter_log(width: usize) -> Aig {
         let shift = 1usize << stage;
         let mut next = Vec::with_capacity(width);
         for i in 0..width {
-            let shifted = if i >= shift { cur[i - shift] } else { Lit::FALSE };
+            let shifted = if i >= shift {
+                cur[i - shift]
+            } else {
+                Lit::FALSE
+            };
             next.push(g.mux(sel, shifted, cur[i]));
         }
         cur = next;

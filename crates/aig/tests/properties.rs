@@ -6,8 +6,7 @@ use aig::{aiger, Aig, Lit};
 use proptest::prelude::*;
 
 fn random_graph_strategy() -> impl Strategy<Value = Aig> {
-    (2usize..8, 0usize..80, 1usize..4, any::<u64>())
-        .prop_map(|(i, g, o, s)| random_aig(i, g, o, s))
+    (2usize..8, 0usize..80, 1usize..4, any::<u64>()).prop_map(|(i, g, o, s)| random_aig(i, g, o, s))
 }
 
 proptest! {

@@ -169,10 +169,7 @@ impl Manager {
         if let Some(&r) = self.ite_cache.get(&(f, g, h)) {
             return Ok(r);
         }
-        let level = self
-            .level(f)
-            .min(self.level(g))
-            .min(self.level(h));
+        let level = self.level(f).min(self.level(g)).min(self.level(h));
         let (f0, f1) = self.cofactors(f, level);
         let (g0, g1) = self.cofactors(g, level);
         let (h0, h1) = self.cofactors(h, level);
@@ -287,7 +284,11 @@ impl Manager {
     /// # Panics
     ///
     /// Panics if `ordering` is not a permutation of the input indices.
-    pub fn from_aig(&mut self, aig: &aig::Aig, ordering: &[u32]) -> Result<Vec<BddRef>, BddOverflow> {
+    pub fn from_aig(
+        &mut self,
+        aig: &aig::Aig,
+        ordering: &[u32],
+    ) -> Result<Vec<BddRef>, BddOverflow> {
         assert_eq!(ordering.len(), aig.num_inputs(), "ordering length mismatch");
         let mut seen = vec![false; ordering.len()];
         for &l in ordering {
@@ -403,7 +404,11 @@ mod tests {
             let pattern: Vec<bool> = (0..g.num_inputs()).map(|i| bits >> i & 1 == 1).collect();
             let expect = g.evaluate(&pattern);
             for (o, &r) in outs.iter().enumerate() {
-                assert_eq!(m.evaluate(r, &pattern), expect[o], "output {o} bits {bits:b}");
+                assert_eq!(
+                    m.evaluate(r, &pattern),
+                    expect[o],
+                    "output {o} bits {bits:b}"
+                );
             }
         }
     }

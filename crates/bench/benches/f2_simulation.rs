@@ -15,8 +15,7 @@ fn bench_f2(c: &mut Criterion) {
             &words,
             |b, &words| {
                 b.iter(|| {
-                    let classes =
-                        SimClasses::from_random_simulation(&miter.graph, words, 0xC0FFEE);
+                    let classes = SimClasses::from_random_simulation(&miter.graph, words, 0xC0FFEE);
                     assert!(classes.num_classes() > 0);
                 })
             },

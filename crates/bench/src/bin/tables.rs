@@ -71,7 +71,18 @@ fn t1() {
     println!(
         "{}",
         render_table(
-            &["pair", "family", "pi", "po", "and(A)", "and(B)", "dep(A)", "dep(B)", "miter", "miter-nosh"],
+            &[
+                "pair",
+                "family",
+                "pi",
+                "po",
+                "and(A)",
+                "and(B)",
+                "dep(A)",
+                "dep(B)",
+                "miter",
+                "miter-nosh"
+            ],
             &rows
         )
     );
@@ -128,7 +139,15 @@ fn t3() {
     println!(
         "{}",
         render_table(
-            &["pair", "recorded", "trimmed", "compact", "removed", "core-orig", "trim-ms"],
+            &[
+                "pair",
+                "recorded",
+                "trimmed",
+                "compact",
+                "removed",
+                "core-orig",
+                "trim-ms"
+            ],
             &rows
         )
     );
@@ -163,7 +182,15 @@ fn t4() {
     println!(
         "{}",
         render_table(
-            &["pair", "config", "sat", "cex", "struct", "resolutions", "ms"],
+            &[
+                "pair",
+                "config",
+                "sat",
+                "cex",
+                "struct",
+                "resolutions",
+                "ms"
+            ],
             &rows
         )
     );
@@ -193,7 +220,15 @@ fn t5() {
     println!(
         "{}",
         render_table(
-            &["pair", "raw-res", "raw-itp", "trim-res", "trim-itp", "sweep-itp", "itp-vars"],
+            &[
+                "pair",
+                "raw-res",
+                "raw-itp",
+                "trim-res",
+                "trim-itp",
+                "sweep-itp",
+                "itp-vars"
+            ],
             &rows
         )
     );
@@ -207,7 +242,10 @@ fn t6() {
         .filter(|p| {
             matches!(
                 p.name.as_str(),
-                "add-rca/ks-16" | "add-rca/ks-32" | "mul-arr/csa-5" | "alu-rca/ks-8"
+                "add-rca/ks-16"
+                    | "add-rca/ks-32"
+                    | "mul-arr/csa-5"
+                    | "alu-rca/ks-8"
                     | "rewrite-rand-400"
             )
         })
@@ -229,7 +267,10 @@ fn t6() {
     }
     println!(
         "{}",
-        render_table(&["pair", "mechanism", "steps", "share", "resolutions"], &rows)
+        render_table(
+            &["pair", "mechanism", "steps", "share", "resolutions"],
+            &rows
+        )
     );
 }
 
@@ -264,7 +305,10 @@ fn t7() {
         .collect();
     println!(
         "{}",
-        render_table(&["union of pair", "gates", "reduced", "removed", "ms"], &rows)
+        render_table(
+            &["union of pair", "gates", "reduced", "removed", "ms"],
+            &rows
+        )
     );
 }
 
@@ -289,7 +333,14 @@ fn t8() {
     println!(
         "{}",
         render_table(
-            &["pair", "family", "bdd-nodes", "bdd-ms", "sweep-ms", "bdd-verdict"],
+            &[
+                "pair",
+                "family",
+                "bdd-nodes",
+                "bdd-ms",
+                "sweep-ms",
+                "bdd-verdict"
+            ],
             &rows
         )
     );
@@ -353,7 +404,12 @@ fn f2() {
     let pairs = suite();
     let chosen: Vec<_> = pairs
         .into_iter()
-        .filter(|p| matches!(p.name.as_str(), "add-rca/ks-16" | "mul-arr/csa-5" | "alu-rca/ks-8"))
+        .filter(|p| {
+            matches!(
+                p.name.as_str(),
+                "add-rca/ks-16" | "mul-arr/csa-5" | "alu-rca/ks-8"
+            )
+        })
         .collect();
     let words = [1usize, 2, 4, 8, 16, 32, 64];
     let rows: Vec<Vec<String>> = exp::run_f2(&chosen, &words)

@@ -337,8 +337,7 @@ pub fn run_t5(pairs: &[Pair]) -> Vec<T5Row> {
             assert_eq!(solver.solve(), SolveResult::Unsat, "{}", p.name);
             let raw: &Proof = solver.proof().expect("proof recorded");
             let root = raw.empty_clause().expect("refutation");
-            let is_b =
-                |id: ClauseId| sides.get(id.as_usize()).copied() != Some(Partition::A);
+            let is_b = |id: ClauseId| sides.get(id.as_usize()).copied() != Some(Partition::A);
             let raw_itp = proof::interpolate::interpolant(raw, root, is_b)
                 .expect("interpolation from solver proof");
 
@@ -536,7 +535,11 @@ pub fn run_t8(pairs: &[Pair], node_limit: usize) -> Vec<T8Row> {
             let t = Instant::now();
             let sweep = sweep_prove(p);
             let sweep_ms = ms(t.elapsed());
-            assert!(sweep.is_equivalent(), "{}: suite pairs are equivalent", p.name);
+            assert!(
+                sweep.is_equivalent(),
+                "{}: suite pairs are equivalent",
+                p.name
+            );
             if bdd_decided {
                 assert!(
                     matches!(verdict, BddVerdict::Equivalent { .. }),
@@ -790,7 +793,10 @@ mod tests {
         assert!(points[0].bdd_nodes.is_some(), "4-bit multiplier fits");
         assert!(points[1].bdd_nodes.is_none(), "10-bit multiplier overflows");
         assert!(points[0].sweep_ms.is_some());
-        assert!(points[1].sweep_ms.is_none(), "sweep point skipped as configured");
+        assert!(
+            points[1].sweep_ms.is_none(),
+            "sweep point skipped as configured"
+        );
     }
 
     #[test]

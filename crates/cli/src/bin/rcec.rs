@@ -2,8 +2,14 @@
 //!
 //! ```text
 //! rcec A.aag B.aag [--monolithic] [--bdd] [--no-struct] [--no-share]
-//!      [--no-sweep] [--limit=N] [--proof=FILE] [--trim] [--check] [--quiet]
+//!      [--no-sweep] [--limit=N] [--threads=N] [--proof=FILE] [--trim]
+//!      [--check] [--quiet]
 //! ```
+//!
+//! `--threads=N` shards the sweeping phase over `N` worker threads with
+//! private incremental solvers; the workers' derivations are stitched
+//! back into one global proof, deterministically for a given seed and
+//! thread count.
 //!
 //! `--bdd` uses the canonical-form ROBDD baseline: fastest on small
 //! structured circuits, but produces no proof and may answer UNDECIDED
@@ -40,6 +46,7 @@ fn run() -> Result<i32, String> {
             "no-share",
             "no-sweep",
             "limit",
+            "threads",
             "proof",
             "trim",
             "check",
@@ -48,9 +55,12 @@ fn run() -> Result<i32, String> {
     )
     .map_err(|e| e.to_string())?;
     if args.positional.len() != 2 {
-        return Err("usage: rcec A.aag B.aag [--monolithic] [--no-struct] [--no-share] \
-                    [--no-sweep] [--limit=N] [--proof=FILE] [--trim] [--check] [--quiet]"
-            .into());
+        return Err(
+            "usage: rcec A.aag B.aag [--monolithic] [--no-struct] [--no-share] \
+                    [--no-sweep] [--limit=N] [--threads=N] [--proof=FILE] [--trim] \
+                    [--check] [--quiet]"
+                .into(),
+        );
     }
     let quiet = args.has("quiet");
     let read = |path: &str| -> Result<aig::Aig, String> {
@@ -111,6 +121,13 @@ fn run() -> Result<i32, String> {
             let limit: u64 = v.parse().map_err(|e| format!("--limit: {e}"))?;
             options.pair_conflict_limit = Some(limit);
         }
+        if let Some(v) = args.value("threads") {
+            let threads: usize = v.parse().map_err(|e| format!("--threads: {e}"))?;
+            if threads == 0 {
+                return Err("--threads: must be at least 1".into());
+            }
+            options.threads = threads;
+        }
         Prover::new(options).prove(&a, &b)
     }
     .map_err(|e| e.to_string())?;
@@ -119,6 +136,9 @@ fn run() -> Result<i32, String> {
         CecOutcome::Equivalent(cert) => {
             if !quiet {
                 eprintln!("EQUIVALENT ({})", cert.stats);
+                for (i, w) in cert.stats.workers.iter().enumerate() {
+                    eprintln!("worker {i}: {w}");
+                }
             }
             if let Some(path) = args.value("proof") {
                 let p = cert
@@ -145,8 +165,14 @@ fn run() -> Result<i32, String> {
             Ok(exit::OK)
         }
         CecOutcome::Inequivalent {
-            counterexample, ..
+            counterexample,
+            stats,
         } => {
+            if !quiet {
+                for (i, w) in stats.workers.iter().enumerate() {
+                    eprintln!("worker {i}: {w}");
+                }
+            }
             println!("INEQUIVALENT");
             let bits: String = counterexample
                 .pattern
@@ -154,9 +180,8 @@ fn run() -> Result<i32, String> {
                 .map(|&b| if b { '1' } else { '0' })
                 .collect();
             println!("input  (lsb first): {bits}");
-            let show = |o: &[bool]| -> String {
-                o.iter().map(|&b| if b { '1' } else { '0' }).collect()
-            };
+            let show =
+                |o: &[bool]| -> String { o.iter().map(|&b| if b { '1' } else { '0' }).collect() };
             println!("outputs A: {}", show(&counterexample.outputs_a));
             println!("outputs B: {}", show(&counterexample.outputs_b));
             Ok(exit::NEGATIVE)

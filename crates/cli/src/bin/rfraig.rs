@@ -1,8 +1,12 @@
 //! `rfraig` — functional reduction (FRAIG) of an AIGER netlist.
 //!
 //! ```text
-//! rfraig IN.aag OUT.aag [--binary] [--limit=N] [--verify] [--quiet]
+//! rfraig IN.aag OUT.aag [--binary] [--limit=N] [--threads=N] [--verify]
+//!        [--quiet]
 //! ```
+//!
+//! `--threads=N` shards the sweeping phase over `N` worker threads
+//! (deterministic for a given seed and thread count).
 //!
 //! Merges functionally equivalent nodes by SAT sweeping and writes the
 //! reduced circuit. With `--verify`, the reduction is proven
@@ -30,11 +34,15 @@ fn main() -> ExitCode {
 fn run() -> Result<i32, String> {
     let args = Args::parse(
         std::env::args().skip(1),
-        &["binary", "limit", "verify", "quiet"],
+        &["binary", "limit", "threads", "verify", "quiet"],
     )
     .map_err(|e| e.to_string())?;
     if args.positional.len() != 2 {
-        return Err("usage: rfraig IN.aag OUT.aag [--binary] [--limit=N] [--verify] [--quiet]".into());
+        return Err(
+            "usage: rfraig IN.aag OUT.aag [--binary] [--limit=N] [--threads=N] \
+                    [--verify] [--quiet]"
+                .into(),
+        );
     }
     let in_path = &args.positional[0];
     let out_path = &args.positional[1];
@@ -45,6 +53,13 @@ fn run() -> Result<i32, String> {
     if let Some(v) = args.value("limit") {
         let limit: u64 = v.parse().map_err(|e| format!("--limit: {e}"))?;
         options.pair_conflict_limit = Some(limit);
+    }
+    if let Some(v) = args.value("threads") {
+        let threads: usize = v.parse().map_err(|e| format!("--threads: {e}"))?;
+        if threads == 0 {
+            return Err("--threads: must be at least 1".into());
+        }
+        options.threads = threads;
     }
     let reduced = reduce(&input, &options);
     if !args.has("quiet") {
@@ -59,6 +74,7 @@ fn run() -> Result<i32, String> {
     if args.has("verify") {
         let outcome = Prover::new(CecOptions {
             verify: true,
+            threads: options.threads,
             ..CecOptions::default()
         })
         .prove(&input, &reduced)

@@ -97,8 +97,11 @@ mod tests {
 
     #[test]
     fn parses_positionals_and_flags() {
-        let a = Args::parse(s(&["x.aig", "--proof=out.trace", "--check", "y.aig"]),
-                            &["proof", "check"]).unwrap();
+        let a = Args::parse(
+            s(&["x.aig", "--proof=out.trace", "--check", "y.aig"]),
+            &["proof", "check"],
+        )
+        .unwrap();
         assert_eq!(a.positional, vec!["x.aig", "y.aig"]);
         assert!(a.has("check"));
         assert_eq!(a.value("proof"), Some("out.trace"));

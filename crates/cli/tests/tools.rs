@@ -65,6 +65,83 @@ fn rcec_equivalent_with_checked_proof_file() {
 }
 
 #[test]
+fn rcec_parallel_proof_round_trips_through_rcheck() {
+    // Golden round-trip of the parallel sweeping mode: a 4-worker run
+    // emits a stitched proof file, rcheck independently replays it with
+    // both checkers, and a corrupted copy of the very same file is
+    // rejected with a nonzero exit.
+    let a_path = tmp("par-a.aag");
+    let b_path = tmp("par-b.aag");
+    let proof_path = tmp("par.trace");
+    write_aiger(&aig::gen::ripple_carry_adder(8), &a_path);
+    write_aiger(&aig::gen::brent_kung_adder(8), &b_path);
+
+    let out = run(
+        env!("CARGO_BIN_EXE_rcec"),
+        &[
+            a_path.to_str().unwrap(),
+            b_path.to_str().unwrap(),
+            "--threads=4",
+            &format!("--proof={}", proof_path.display()),
+            "--trim",
+            "--quiet",
+        ],
+    );
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("EQUIVALENT"));
+
+    let out = run(
+        env!("CARGO_BIN_EXE_rcheck"),
+        &[
+            proof_path.to_str().unwrap(),
+            "--refutation",
+            "--rup",
+            "--quiet",
+        ],
+    );
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("ACCEPTED"));
+
+    // Corrupt the emitted proof (flip the polarity of the first literal
+    // of the first derived step) and rcheck must refuse it.
+    let text = fs::read_to_string(&proof_path).unwrap();
+    let mut lines: Vec<String> = text.lines().map(str::to_string).collect();
+    let victim = lines
+        .iter()
+        .position(|line| {
+            let fields: Vec<&str> = line.split_whitespace().collect();
+            // A derived step has antecedents after the first 0 — and a
+            // non-empty clause gives us a literal to flip.
+            fields.get(1).is_some_and(|f| *f != "0")
+                && fields
+                    .iter()
+                    .position(|f| *f == "0")
+                    .is_some_and(|z| fields[z + 1..].iter().any(|f| *f != "0"))
+        })
+        .expect("trimmed refutation contains a derived non-empty step");
+    let mut fields: Vec<String> = lines[victim]
+        .split_whitespace()
+        .map(str::to_string)
+        .collect();
+    fields[1] = format!("{}", -fields[1].parse::<i64>().unwrap());
+    lines[victim] = fields.join(" ");
+    let corrupted = lines.join("\n") + "\n";
+    assert_ne!(text, corrupted, "corruption must change the file");
+    let bad_path = tmp("par-bad.trace");
+    fs::write(&bad_path, corrupted).unwrap();
+    let out = run(
+        env!("CARGO_BIN_EXE_rcheck"),
+        &[bad_path.to_str().unwrap(), "--refutation", "--quiet"],
+    );
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("REJECTED"));
+
+    for p in [a_path, b_path, proof_path, bad_path] {
+        let _ = fs::remove_file(p);
+    }
+}
+
+#[test]
 fn rcec_detects_inequivalence() {
     let golden = aig::gen::ripple_carry_adder(4);
     let mutant = (0..40)
@@ -78,7 +155,11 @@ fn rcec_detects_inequivalence() {
 
     let out = run(
         env!("CARGO_BIN_EXE_rcec"),
-        &[a_path.to_str().unwrap(), b_path.to_str().unwrap(), "--quiet"],
+        &[
+            a_path.to_str().unwrap(),
+            b_path.to_str().unwrap(),
+            "--quiet",
+        ],
     );
     assert_eq!(out.status.code(), Some(1), "{out:?}");
     let text = String::from_utf8_lossy(&out.stdout);
@@ -127,7 +208,10 @@ fn rsat_sat_and_unsat_with_proof() {
     assert_eq!(out.status.code(), Some(10), "{out:?}");
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("s SATISFIABLE"));
-    assert!(text.contains("v -1 2 0") || text.contains("v -1 2"), "{text}");
+    assert!(
+        text.contains("v -1 2 0") || text.contains("v -1 2"),
+        "{text}"
+    );
 
     // UNSAT instance with proof emission, checked by rcheck.
     let unsat_path = tmp("g.cnf");
@@ -158,7 +242,10 @@ fn rcheck_rejects_corrupted_proof() {
     let path = tmp("bad.trace");
     // Claims (1) from (1 2) and (-2 3): not a valid resolution.
     fs::write(&path, "1 1 2 0 0\n2 -2 3 0 0\n3 1 0 1 2 0\n").unwrap();
-    let out = run(env!("CARGO_BIN_EXE_rcheck"), &[path.to_str().unwrap(), "--quiet"]);
+    let out = run(
+        env!("CARGO_BIN_EXE_rcheck"),
+        &[path.to_str().unwrap(), "--quiet"],
+    );
     assert_eq!(out.status.code(), Some(1), "{out:?}");
     assert!(String::from_utf8_lossy(&out.stdout).contains("REJECTED"));
     let _ = fs::remove_file(path);
@@ -168,7 +255,10 @@ fn rcheck_rejects_corrupted_proof() {
 fn rcheck_requires_refutation_when_asked() {
     let path = tmp("norefute.trace");
     fs::write(&path, "1 1 0 0\n").unwrap();
-    let out = run(env!("CARGO_BIN_EXE_rcheck"), &[path.to_str().unwrap(), "--quiet"]);
+    let out = run(
+        env!("CARGO_BIN_EXE_rcheck"),
+        &[path.to_str().unwrap(), "--quiet"],
+    );
     assert_eq!(out.status.code(), Some(0), "plain check passes");
     let out = run(
         env!("CARGO_BIN_EXE_rcheck"),
@@ -231,7 +321,12 @@ fn rcec_bdd_mode() {
     write_aiger(&aig::gen::brent_kung_adder(8), &b_path);
     let out = run(
         env!("CARGO_BIN_EXE_rcec"),
-        &[a_path.to_str().unwrap(), b_path.to_str().unwrap(), "--bdd", "--quiet"],
+        &[
+            a_path.to_str().unwrap(),
+            b_path.to_str().unwrap(),
+            "--bdd",
+            "--quiet",
+        ],
     );
     assert_eq!(out.status.code(), Some(0), "{out:?}");
     assert!(String::from_utf8_lossy(&out.stdout).contains("EQUIVALENT"));

@@ -112,7 +112,8 @@ pub fn read<R: BufRead>(r: R) -> Result<Cnf, ParseDimacsError> {
             "last clause not terminated by 0".into(),
         ));
     }
-    let (vars, clauses) = declared.ok_or_else(|| ParseDimacsError::Format("missing header".into()))?;
+    let (vars, clauses) =
+        declared.ok_or_else(|| ParseDimacsError::Format("missing header".into()))?;
     if cnf.num_clauses() != clauses {
         return Err(ParseDimacsError::Format(format!(
             "header declares {clauses} clauses, found {}",

@@ -282,10 +282,7 @@ mod tests {
             }
         }
         // Difference variables follow the two output literals.
-        let first_diff = m
-            .enc_b
-            .cnf
-            .num_vars();
+        let first_diff = m.enc_b.cnf.num_vars();
         for (i, (oa, ob)) in m
             .enc_a
             .output_lits

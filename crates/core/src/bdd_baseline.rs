@@ -184,8 +184,14 @@ mod tests {
         match v {
             BddVerdict::Inequivalent { counterexample, .. } => {
                 assert_ne!(counterexample.outputs_a, counterexample.outputs_b);
-                assert_eq!(a.evaluate(&counterexample.pattern), counterexample.outputs_a);
-                assert_eq!(b.evaluate(&counterexample.pattern), counterexample.outputs_b);
+                assert_eq!(
+                    a.evaluate(&counterexample.pattern),
+                    counterexample.outputs_a
+                );
+                assert_eq!(
+                    b.evaluate(&counterexample.pattern),
+                    counterexample.outputs_b
+                );
             }
             other => panic!("expected inequivalent, got {other:?}"),
         }

@@ -26,7 +26,7 @@
 //! the engine.
 
 use crate::miter::Miter;
-use crate::outcome::{CecError, CecOutcome, Certificate, Counterexample, EngineStats};
+use crate::outcome::{CecError, CecOutcome, Certificate, Counterexample, EngineStats, WorkerStats};
 use crate::sim::SimClasses;
 use aig::{Aig, NodeId};
 use cnf::tseitin::Partition;
@@ -58,6 +58,15 @@ pub struct CecOptions {
     /// sound; the final miter solve runs unbudgeted. `None` = complete
     /// sweeping.
     pub pair_conflict_limit: Option<u64>,
+    /// Worker threads for the sweeping phase. `1` (the default) runs the
+    /// classical sequential sweep; `> 1` deals windows of candidate
+    /// pairs round-robin onto persistent worker threads, each with a
+    /// private incremental solver kept in sync with the shared clause
+    /// database by replaying its clause feed, and stitches the workers'
+    /// derivations back into the one global proof in a fixed
+    /// worker-then-discovery order — so the verdict *and* the proof are
+    /// byte-for-byte deterministic for a given seed and thread count.
+    pub threads: usize,
     /// Record a resolution proof.
     pub proof: bool,
     /// Re-check the recorded proof with the independent checker before
@@ -75,6 +84,7 @@ impl Default for CecOptions {
             structural_merging: true,
             sweep: true,
             pair_conflict_limit: None,
+            threads: 1,
             proof: true,
             verify: false,
         }
@@ -142,9 +152,15 @@ impl Prover {
         sweep.stats.circuit_nodes = miter.circuit_nodes;
 
         if self.options.sweep {
-            sweep.solver.set_conflict_budget(self.options.pair_conflict_limit);
-            sweep.run();
-            sweep.solver.set_conflict_budget(None);
+            if self.options.threads > 1 {
+                sweep.run_parallel(self.options.threads);
+            } else {
+                sweep
+                    .solver
+                    .set_conflict_budget(self.options.pair_conflict_limit);
+                sweep.run();
+                sweep.solver.set_conflict_budget(None);
+            }
         }
 
         // Assert the miter output and ask for the final verdict.
@@ -255,8 +271,12 @@ pub fn reduce(graph: &Aig, options: &CecOptions) -> Aig {
     };
     let mut sweep = Sweep::new(graph, &local, None);
     if local.sweep {
-        sweep.solver.set_conflict_budget(local.pair_conflict_limit);
-        sweep.run();
+        if local.threads > 1 {
+            sweep.run_parallel(local.threads);
+        } else {
+            sweep.solver.set_conflict_budget(local.pair_conflict_limit);
+            sweep.run();
+        }
     }
     // Rebuild the graph over representatives.
     let mut out = Aig::with_capacity(graph.len());
@@ -290,6 +310,217 @@ enum PairFailure {
     Counterexample(Vec<bool>),
     /// The per-pair conflict budget ran out; skip the pair.
     BudgetExhausted,
+}
+
+/// A parallel-sweep worker's verdict on one sharded candidate pair.
+/// Clause ids are in the worker's private proof id space.
+enum PairVerdict {
+    /// Both implications proven; the canonical lemma steps are the
+    /// roots to stitch into the global proof.
+    Proved {
+        fwd: Option<ClauseId>,
+        bwd: Option<ClauseId>,
+    },
+    /// A model distinguished the pair; refine the classes with it.
+    Refuted { pattern: Vec<bool> },
+    /// The per-pair conflict budget ran out.
+    Skipped,
+}
+
+/// Candidate pairs dealt to each worker per parallel round. The window
+/// trades per-round synchronization cost against lemma locality: pairs
+/// are discharged in topological order, so a small window means a
+/// pair's fanin-cone equivalences were almost always merged in an
+/// earlier round and reach the worker as unit-strength lemma clauses —
+/// keeping per-pair conflict work near the sequential level — while a
+/// large window forces workers to re-derive in-flight predecessors from
+/// scratch.
+const PAIRS_PER_WORKER_PER_ROUND: usize = 8;
+
+/// One clause of the shared database feed: the global clause stream
+/// (initial snapshot, then every lemma in merge order) that workers
+/// replay incrementally to stay in sync between rounds.
+#[derive(Clone)]
+struct FeedClause {
+    lits: Vec<Lit>,
+    /// Global proof step id (proof mode only).
+    id: Option<ClauseId>,
+    /// The worker whose proved pair produced this clause; that worker
+    /// already committed the canonical lemma locally and skips the
+    /// entry. `None` for snapshot and structural-merge clauses.
+    origin: Option<usize>,
+}
+
+/// One round's work order for a parallel-sweep worker thread: the
+/// worker's own state (shipped back and forth so the sequential merge
+/// phase can read its proof), the feed entries added since the last
+/// round, and the shard of pairs to discharge.
+struct WorkerJob {
+    state: WorkerState,
+    delta: std::sync::Arc<[FeedClause]>,
+    shard: Vec<(usize, NodeId, Lit)>,
+}
+
+/// What a worker thread sends back after a round.
+struct WorkerReport {
+    state: WorkerState,
+    results: Vec<(usize, PairVerdict)>,
+    stats: WorkerStats,
+}
+
+/// A persistent parallel-sweep worker: a private incremental SAT solver
+/// that lives across rounds (keeping its learnt clauses and saved
+/// phases), synced with the shared clause database by replaying the
+/// feed, plus the local→global proof id translation accumulated over
+/// all merges so far. Fully deterministic given its shard and feed
+/// history.
+struct WorkerState {
+    solver: Solver,
+    /// Local proof step id → global proof id. Originals are filled on
+    /// sync; derived steps are filled by [`proof::Proof::merge_cone`].
+    translation: Vec<Option<ClauseId>>,
+    proof_mode: bool,
+}
+
+impl WorkerState {
+    fn new(proof_mode: bool, num_vars: u32, budget: Option<u64>) -> Self {
+        let mut solver = if proof_mode {
+            Solver::with_proof()
+        } else {
+            Solver::new()
+        };
+        solver.ensure_vars(num_vars);
+        solver.set_conflict_budget(budget);
+        WorkerState {
+            solver,
+            translation: Vec::new(),
+            proof_mode,
+        }
+    }
+
+    /// Replays the feed entries added since the last round, skipping
+    /// the clauses this worker proved itself (already present locally;
+    /// their proof steps are translated at merge time instead).
+    fn sync(&mut self, me: usize, delta: &[FeedClause]) {
+        for fc in delta {
+            if fc.origin == Some(me) {
+                continue;
+            }
+            let local = self.solver.add_clause(&fc.lits);
+            if self.proof_mode {
+                let local = local.expect("feed holds no tautologies").as_usize();
+                if self.translation.len() <= local {
+                    self.translation.resize(local + 1, None);
+                }
+                debug_assert!(self.translation[local].is_none());
+                self.translation[local] = fc.id;
+            }
+        }
+    }
+
+    /// Runs one round: catches up with the feed, then discharges the
+    /// shard of `(index into the round's pair list, node, target)`
+    /// entries. Returns the verdicts in discovery order and this
+    /// round's counters.
+    fn round(
+        &mut self,
+        me: usize,
+        graph: &Aig,
+        delta: &[FeedClause],
+        shard: &[(usize, NodeId, Lit)],
+    ) -> (Vec<(usize, PairVerdict)>, WorkerStats) {
+        let start = Instant::now();
+        let conflicts_before = self.solver.stats().conflicts;
+        let mut stats = WorkerStats::default();
+        self.sync(me, delta);
+        let mut results = Vec::with_capacity(shard.len());
+        for &(pair_idx, n, target) in shard {
+            let verdict = worker_prove_pair(
+                &mut self.solver,
+                graph,
+                n,
+                target,
+                self.proof_mode,
+                &mut stats,
+            );
+            results.push((pair_idx, verdict));
+        }
+        stats.conflicts = self.solver.stats().conflicts - conflicts_before;
+        stats.elapsed = start.elapsed();
+        (results, stats)
+    }
+}
+
+/// The worker-side counterpart of [`Sweep::prove_pair`]: two incremental
+/// SAT calls, committing each proven direction as a canonical lemma in
+/// the worker's private solver (so later pairs of the same shard reuse
+/// it).
+fn worker_prove_pair(
+    solver: &mut Solver,
+    graph: &Aig,
+    n: NodeId,
+    target: Lit,
+    proof_mode: bool,
+    stats: &mut WorkerStats,
+) -> PairVerdict {
+    let vn = Var::new(n.index());
+    stats.sat_calls += 1;
+    match solver.solve_with(&[vn.positive(), !target]) {
+        SolveResult::Sat => {
+            stats.sat_cex += 1;
+            return PairVerdict::Refuted {
+                pattern: worker_model_pattern(solver, graph),
+            };
+        }
+        SolveResult::Unknown => return PairVerdict::Skipped,
+        SolveResult::Unsat => stats.sat_unsat += 1,
+    }
+    let fwd = worker_commit_lemma(solver, &[vn.negative(), target], proof_mode, stats);
+    stats.sat_calls += 1;
+    match solver.solve_with(&[vn.negative(), target]) {
+        SolveResult::Sat => {
+            stats.sat_cex += 1;
+            return PairVerdict::Refuted {
+                pattern: worker_model_pattern(solver, graph),
+            };
+        }
+        SolveResult::Unknown => return PairVerdict::Skipped,
+        SolveResult::Unsat => stats.sat_unsat += 1,
+    }
+    let bwd = worker_commit_lemma(solver, &[vn.positive(), !target], proof_mode, stats);
+    stats.merges += 1;
+    PairVerdict::Proved { fwd, bwd }
+}
+
+/// Commits the worker solver's final conflict clause and derives the
+/// canonical two-literal lemma by weakening (mirrors
+/// [`Sweep::commit_lemma`]).
+fn worker_commit_lemma(
+    solver: &mut Solver,
+    canonical: &[Lit],
+    proof_mode: bool,
+    stats: &mut WorkerStats,
+) -> Option<ClauseId> {
+    let committed = solver.commit_final_clause();
+    stats.lemmas += 1;
+    if proof_mode {
+        let id = committed.expect("proof mode final clause id");
+        let lemma = solver.add_derived_clause(canonical, &[id]);
+        solver.tag_proof_step(lemma, StepRole::Lemma);
+        Some(lemma)
+    } else {
+        solver.add_clause(canonical);
+        None
+    }
+}
+
+/// Extracts the input pattern from a worker solver's current model.
+fn worker_model_pattern(solver: &Solver, graph: &Aig) -> Vec<bool> {
+    graph
+        .inputs()
+        .iter()
+        .map(|node| solver.model_value(Var::new(node.index())))
+        .collect()
 }
 
 /// A node's merge link: `node ≡ parent ^ phase`, with the two lemma
@@ -442,8 +673,11 @@ impl<'g> Sweep<'g> {
     }
 
     fn run(&mut self) {
-        let mut classes =
-            SimClasses::from_random_simulation(self.graph, self.options.sim_words, self.options.seed);
+        let mut classes = SimClasses::from_random_simulation(
+            self.graph,
+            self.options.sim_words,
+            self.options.seed,
+        );
         self.stats.initial_classes = classes.num_classes();
         self.stats.initial_candidates = classes.num_candidates();
 
@@ -491,6 +725,269 @@ impl<'g> Sweep<'g> {
             }
             self.register_structure(n);
         }
+    }
+
+    /// The round-based parallel sweep.
+    ///
+    /// Each round:
+    ///
+    /// 1. **Structural phase** (sequential): one topological pass of
+    ///    resolution-only merges over a freshly rebuilt structure table
+    ///    (reps move between rounds, so stale keys must not survive).
+    /// 2. **Collect**: a *window* of the topologically first candidate
+    ///    pairs `(n, root, phase)` of the live classes —
+    ///    [`PAIRS_PER_WORKER_PER_ROUND`] per worker. Class members
+    ///    always have `rep = None` (merged nodes are removed from their
+    ///    class), so targets are class leaders and no node is sharded
+    ///    twice. The small window preserves lemma locality: a pair's
+    ///    fanin-cone equivalences were usually merged in an earlier
+    ///    round and have already reached every worker.
+    /// 3. **Discharge**: the window is dealt round-robin onto the
+    ///    persistent workers; each scoped worker thread first replays
+    ///    the shared clause feed (the snapshot at start, then every
+    ///    merged lemma) into its private incremental solver, then
+    ///    proves / refutes / skips its pairs independently, logging
+    ///    into a private proof with worker-local clause ids.
+    /// 4. **Merge** (sequential, fixed worker-then-discovery order):
+    ///    each worker's new derivation cone is stitched into the global
+    ///    proof with remapped ids (the per-worker translation table
+    ///    persists, so later rounds reuse earlier stitches), proved
+    ///    lemmas join the global clause database and the feed,
+    ///    refutation patterns refine the classes.
+    ///
+    /// Every worker is deterministic given its shard and feed history,
+    /// and the merge order is fixed, so the run is reproducible for a
+    /// given seed and thread count. Each round strictly shrinks the
+    /// candidate work (merged/skipped nodes leave their classes; each
+    /// applied refutation either splits a class or was subsumed by an
+    /// earlier split this round), so the loop terminates.
+    fn run_parallel(&mut self, threads: usize) {
+        let mut classes = SimClasses::from_random_simulation(
+            self.graph,
+            self.options.sim_words,
+            self.options.seed,
+        );
+        self.stats.initial_classes = classes.num_classes();
+        self.stats.initial_candidates = classes.num_candidates();
+        self.stats.workers = vec![WorkerStats::default(); threads];
+
+        let num_vars = self.solver.num_vars();
+        let proof_mode = self.options.proof;
+        let budget = self.options.pair_conflict_limit;
+        let graph = self.graph;
+        let window = threads * PAIRS_PER_WORKER_PER_ROUND;
+
+        let mut feed: Vec<FeedClause> = self
+            .solver
+            .live_clauses()
+            .map(|(ls, id)| FeedClause {
+                lits: ls.to_vec(),
+                id,
+                origin: None,
+            })
+            .collect();
+        // Feed entries already shipped to the workers (all workers stay
+        // in lock-step because every round sends every worker a job).
+        let mut synced = 0usize;
+        // Worker states live here between rounds so the sequential
+        // merge phase can read their proofs; they ride along in the job
+        // and report of each round.
+        let mut states: Vec<Option<WorkerState>> = (0..threads)
+            .map(|_| Some(WorkerState::new(proof_mode, num_vars, budget)))
+            .collect();
+
+        // The worker threads are spawned once and fed one job per round
+        // (thread creation is far too slow to pay per round).
+        std::thread::scope(|scope| {
+            let mut to_worker = Vec::with_capacity(threads);
+            let mut from_worker = Vec::with_capacity(threads);
+            for w in 0..threads {
+                let (job_tx, job_rx) = std::sync::mpsc::channel::<WorkerJob>();
+                let (report_tx, report_rx) = std::sync::mpsc::channel::<WorkerReport>();
+                to_worker.push(job_tx);
+                from_worker.push(report_rx);
+                scope.spawn(move || {
+                    for job in job_rx {
+                        let WorkerJob {
+                            mut state,
+                            delta,
+                            shard,
+                        } = job;
+                        let (results, stats) = state.round(w, graph, &delta, &shard);
+                        if report_tx
+                            .send(WorkerReport {
+                                state,
+                                results,
+                                stats,
+                            })
+                            .is_err()
+                        {
+                            return;
+                        }
+                    }
+                });
+            }
+
+            loop {
+                // Phase 1: structural merges over a rebuilt table.
+                if self.options.structural_merging {
+                    self.struct_table.clear();
+                    for idx in 1..self.graph.len() {
+                        let n = NodeId::new(idx as u32);
+                        if self.rep[n.as_usize()].is_some() {
+                            continue;
+                        }
+                        if self.try_structural_merge(n).is_some() {
+                            classes.remove(n);
+                            let link = self.rep[n.as_usize()].expect("merged just now");
+                            let vn = Var::new(n.index());
+                            let root = Var::new(link.parent.index()).lit(link.phase);
+                            feed.push(FeedClause {
+                                lits: vec![vn.negative(), root],
+                                id: link.fwd,
+                                origin: None,
+                            });
+                            feed.push(FeedClause {
+                                lits: vec![vn.positive(), !root],
+                                id: link.bwd,
+                                origin: None,
+                            });
+                        } else {
+                            self.register_structure(n);
+                        }
+                    }
+                }
+
+                // Phase 2: collect this round's window of candidate pairs.
+                let mut pairs: Vec<(NodeId, NodeId, bool)> = Vec::new();
+                for idx in 1..self.graph.len() {
+                    let n = NodeId::new(idx as u32);
+                    if self.rep[n.as_usize()].is_some() {
+                        continue;
+                    }
+                    if let Some((leader, compl)) = classes.candidate(n) {
+                        let (root, pm, _) = self.find(leader);
+                        debug_assert!(root < n, "roots precede the node being processed");
+                        pairs.push((n, root, pm ^ compl));
+                        if pairs.len() == window {
+                            break;
+                        }
+                    }
+                }
+                if pairs.is_empty() {
+                    break;
+                }
+                self.stats.rounds += 1;
+
+                // Phase 3: discharge shards on the persistent workers.
+                let delta: std::sync::Arc<[FeedClause]> = feed[synced..].to_vec().into();
+                for (w, job_tx) in to_worker.iter().enumerate() {
+                    let shard: Vec<(usize, NodeId, Lit)> = pairs
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| i % threads == w)
+                        .map(|(i, &(n, root, phase))| (i, n, Var::new(root.index()).lit(phase)))
+                        .collect();
+                    job_tx
+                        .send(WorkerJob {
+                            state: states[w].take().expect("state parked between rounds"),
+                            delta: delta.clone(),
+                            shard,
+                        })
+                        .expect("sweep worker alive");
+                }
+                synced = feed.len();
+                let reports: Vec<WorkerReport> = from_worker
+                    .iter()
+                    .map(|report_rx| report_rx.recv().expect("sweep worker alive"))
+                    .collect();
+
+                // Phase 4: merge results in worker-then-discovery order.
+                for (w, report) in reports.into_iter().enumerate() {
+                    states[w] = Some(report.state);
+                    let (results, round_stats) = (report.results, report.stats);
+                    let ws = &mut self.stats.workers[w];
+                    ws.sat_calls += round_stats.sat_calls;
+                    ws.sat_unsat += round_stats.sat_unsat;
+                    ws.sat_cex += round_stats.sat_cex;
+                    ws.conflicts += round_stats.conflicts;
+                    ws.merges += round_stats.merges;
+                    ws.lemmas += round_stats.lemmas;
+                    ws.elapsed += round_stats.elapsed;
+                    self.stats.sat_calls += round_stats.sat_calls;
+                    self.stats.sat_unsat += round_stats.sat_unsat;
+                    self.stats.sat_cex += round_stats.sat_cex;
+
+                    if proof_mode {
+                        let roots: Vec<ClauseId> = results
+                            .iter()
+                            .filter_map(|(_, verdict)| match verdict {
+                                PairVerdict::Proved { fwd, bwd } => Some([*fwd, *bwd]),
+                                _ => None,
+                            })
+                            .flatten()
+                            .flatten()
+                            .collect();
+                        let WorkerState {
+                            solver,
+                            translation,
+                            ..
+                        } = states[w].as_mut().expect("report returned the state");
+                        let local = solver.proof().expect("proof-mode worker logs");
+                        self.solver.merge_proof_cone(local, &roots, translation);
+                    }
+                    let translation = &states[w].as_ref().expect("state parked").translation;
+                    for (pair_idx, verdict) in results {
+                        let (n, root, phase) = pairs[pair_idx];
+                        match verdict {
+                            PairVerdict::Proved { fwd, bwd } => {
+                                let vn = Var::new(n.index());
+                                let target = Var::new(root.index()).lit(phase);
+                                let translate = |id: Option<ClauseId>| {
+                                    id.map(|id| {
+                                        translation[id.as_usize()]
+                                            .expect("proved lemma is a merge root")
+                                    })
+                                };
+                                let (fwd, bwd) = (translate(fwd), translate(bwd));
+                                self.solver.add_proved_clause(&[vn.negative(), target], fwd);
+                                self.solver
+                                    .add_proved_clause(&[vn.positive(), !target], bwd);
+                                feed.push(FeedClause {
+                                    lits: vec![vn.negative(), target],
+                                    id: fwd,
+                                    origin: Some(w),
+                                });
+                                feed.push(FeedClause {
+                                    lits: vec![vn.positive(), !target],
+                                    id: bwd,
+                                    origin: Some(w),
+                                });
+                                self.rep[n.as_usize()] = Some(MergeLink {
+                                    parent: root,
+                                    phase,
+                                    fwd,
+                                    bwd,
+                                });
+                                self.stats.lemmas += 2;
+                                classes.remove(n);
+                            }
+                            PairVerdict::Refuted { pattern } => {
+                                self.stats.refinements += 1;
+                                classes.refine_with_pattern(self.graph, &pattern);
+                            }
+                            PairVerdict::Skipped => {
+                                self.stats.pairs_skipped += 1;
+                                classes.remove(n);
+                            }
+                        }
+                    }
+                }
+            }
+            // Dropping the job senders ends the worker loops; the scope
+            // joins the threads.
+            drop(to_worker);
+        });
     }
 
     /// Attempts to prove `v_n ≡ target` with two incremental SAT calls.
@@ -885,6 +1382,116 @@ mod tests {
         // And the default engine (no budget) skips nothing.
         let unbudgeted = prove(&a, &b, verified());
         assert_eq!(unbudgeted.stats().pairs_skipped, 0);
+    }
+
+    fn tracecheck_bytes(p: &proof::Proof) -> Vec<u8> {
+        let mut buf = Vec::new();
+        proof::export::write_tracecheck(p, &mut buf).unwrap();
+        buf
+    }
+
+    #[test]
+    fn parallel_sweep_proof_checks() {
+        let a = ripple_carry_adder(6);
+        let b = kogge_stone_adder(6);
+        for threads in [2, 4] {
+            let opts = CecOptions {
+                threads,
+                verify: true,
+                ..CecOptions::default()
+            };
+            let outcome = prove(&a, &b, opts);
+            let cert = outcome.certificate().expect("equivalent");
+            proof::check::check_refutation(cert.proof.as_ref().unwrap()).unwrap();
+            proof::check::check_rup(cert.proof.as_ref().unwrap()).unwrap();
+            assert!(cert.stats.rounds > 0, "parallel engine ran rounds");
+            assert_eq!(cert.stats.workers.len(), threads);
+            let worker_calls: u64 = cert.stats.workers.iter().map(|w| w.sat_calls).sum();
+            assert_eq!(worker_calls, cert.stats.sat_calls);
+        }
+    }
+
+    #[test]
+    fn parallel_sweep_is_deterministic() {
+        let a = ripple_carry_adder(5);
+        let b = kogge_stone_adder(5);
+        let opts = CecOptions {
+            threads: 3,
+            ..CecOptions::default()
+        };
+        let run = || {
+            let outcome = prove(&a, &b, opts.clone());
+            let cert = outcome.certificate().expect("equivalent");
+            tracecheck_bytes(cert.proof.as_ref().unwrap())
+        };
+        assert_eq!(run(), run(), "same seed + threads → identical proof");
+    }
+
+    #[test]
+    fn parallel_sweep_finds_counterexamples() {
+        let a = ripple_carry_adder(4);
+        let b = (0..40)
+            .filter_map(|s| mutate(&a, s))
+            .find(|m| aig::sim::exhaustive_diff(&a, m, 8).is_some())
+            .expect("differing mutant");
+        let opts = CecOptions {
+            threads: 2,
+            verify: true,
+            ..CecOptions::default()
+        };
+        let outcome = prove(&a, &b, opts);
+        let cex = outcome.counterexample().expect("inequivalent");
+        assert_ne!(cex.outputs_a, cex.outputs_b);
+    }
+
+    #[test]
+    fn parallel_sweep_respects_pair_budget() {
+        use aig::gen::{array_multiplier, carry_save_multiplier};
+        let opts = CecOptions {
+            threads: 2,
+            pair_conflict_limit: Some(1),
+            verify: true,
+            ..CecOptions::default()
+        };
+        let a = array_multiplier(3);
+        let b = carry_save_multiplier(3);
+        let outcome = prove(&a, &b, opts);
+        let cert = outcome.certificate().expect("equivalent");
+        proof::check::check_refutation(cert.proof.as_ref().unwrap()).unwrap();
+    }
+
+    #[test]
+    fn parallel_reduce_matches_sequential_semantics() {
+        use aig::gen::random_aig;
+        let base = random_aig(8, 60, 4, 9);
+        let copy = base.shuffle_rebuild(23);
+        let mut g = Aig::new();
+        let inputs = g.add_inputs(8);
+        for src in [&base, &copy] {
+            let mut map = vec![aig::Lit::FALSE; src.len()];
+            for (id, node) in src.iter() {
+                match *node {
+                    aig::Node::Const => {}
+                    aig::Node::Input { index } => map[id.as_usize()] = inputs[index as usize],
+                    aig::Node::And { a, b } => {
+                        let la = map[a.node().as_usize()].xor_complement(a.is_complemented());
+                        let lb = map[b.node().as_usize()].xor_complement(b.is_complemented());
+                        map[id.as_usize()] = g.and_unshared(la, lb);
+                    }
+                }
+            }
+            for o in src.outputs() {
+                g.add_output(map[o.node().as_usize()].xor_complement(o.is_complemented()));
+            }
+        }
+        let opts = CecOptions {
+            threads: 4,
+            ..CecOptions::default()
+        };
+        let reduced = reduce(&g, &opts);
+        reduced.check().unwrap();
+        assert!(reduced.num_ands() < g.num_ands());
+        assert_eq!(aig::sim::exhaustive_diff(&g, &reduced, 8), None);
     }
 
     #[test]

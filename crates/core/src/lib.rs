@@ -45,5 +45,5 @@ mod sim;
 
 pub use engine::{reduce, CecOptions, Prover};
 pub use miter::Miter;
-pub use outcome::{CecError, CecOutcome, Certificate, Counterexample, EngineStats};
+pub use outcome::{CecError, CecOutcome, Certificate, Counterexample, EngineStats, WorkerStats};
 pub use sim::SimClasses;

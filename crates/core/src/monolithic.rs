@@ -173,10 +173,7 @@ mod tests {
         use crate::{CecOptions, Prover};
         let pairs: Vec<(Aig, Aig)> = vec![
             (ripple_carry_adder(3), kogge_stone_adder(3)),
-            (
-                aig::gen::parity_chain(5),
-                aig::gen::parity_tree(5),
-            ),
+            (aig::gen::parity_chain(5), aig::gen::parity_tree(5)),
         ];
         for (a, b) in &pairs {
             let mono = prove_monolithic(a, b, &MonolithicOptions::default()).unwrap();

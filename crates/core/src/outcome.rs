@@ -5,6 +5,42 @@ use sat::SolverStats;
 use std::fmt;
 use std::time::Duration;
 
+/// Counters for one parallel-sweep worker, aggregated over all rounds
+/// it participated in (see [`crate::CecOptions::threads`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Sweeping SAT calls issued by this worker.
+    pub sat_calls: u64,
+    /// SAT calls that returned UNSAT (half of an equivalence).
+    pub sat_unsat: u64,
+    /// SAT calls that returned a counterexample.
+    pub sat_cex: u64,
+    /// CDCL conflicts in this worker's private solvers.
+    pub conflicts: u64,
+    /// Candidate pairs this worker proved equivalent (merges).
+    pub merges: u64,
+    /// Equivalence lemma clauses this worker committed.
+    pub lemmas: u64,
+    /// Wall-clock time this worker spent across all rounds.
+    pub elapsed: Duration,
+}
+
+impl fmt::Display for WorkerStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "sat={}({}u/{}c) conflicts={} merges={} lemmas={} time={:.3}s",
+            self.sat_calls,
+            self.sat_unsat,
+            self.sat_cex,
+            self.conflicts,
+            self.merges,
+            self.lemmas,
+            self.elapsed.as_secs_f64()
+        )
+    }
+}
+
 /// Counters describing one run of the equivalence checker, as printed in
 /// the experiment tables.
 #[derive(Clone, Debug, Default)]
@@ -36,6 +72,12 @@ pub struct EngineStats {
     pub proof: Option<ProofStats>,
     /// Proof size after backward trimming (if a refutation was trimmed).
     pub trimmed: Option<ProofStats>,
+    /// Sweep rounds executed by the parallel engine (zero when the
+    /// sequential single-pass sweep ran).
+    pub rounds: u64,
+    /// Per-worker counters of the parallel sweep (empty when the
+    /// sequential sweep ran).
+    pub workers: Vec<WorkerStats>,
     /// SAT-solver counters, aggregated over all calls.
     pub solver: SolverStats,
     /// Wall-clock time of the whole check.
@@ -196,7 +238,10 @@ impl fmt::Display for CecError {
             CecError::NoOutputs => write!(f, "circuits have no outputs to compare"),
             CecError::ProofRejected(e) => write!(f, "emitted proof rejected by checker: {e}"),
             CecError::BogusCounterexample(_) => {
-                write!(f, "claimed counterexample does not distinguish the circuits")
+                write!(
+                    f,
+                    "claimed counterexample does not distinguish the circuits"
+                )
             }
         }
     }
@@ -217,7 +262,10 @@ mod tests {
 
     #[test]
     fn error_messages() {
-        let e = CecError::InterfaceMismatch { a: (2, 1), b: (3, 1) };
+        let e = CecError::InterfaceMismatch {
+            a: (2, 1),
+            b: (3, 1),
+        };
         assert!(format!("{e}").contains("2i/1o"));
         assert!(format!("{}", CecError::NoOutputs).contains("no outputs"));
     }

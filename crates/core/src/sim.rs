@@ -170,8 +170,8 @@ impl SimClasses {
 #[allow(clippy::needless_range_loop)]
 mod tests {
     use super::*;
-    use aig::gen::{kogge_stone_adder, ripple_carry_adder};
     use crate::miter::Miter;
+    use aig::gen::{kogge_stone_adder, ripple_carry_adder};
 
     fn adder_miter() -> Miter {
         Miter::build(&ripple_carry_adder(4), &kogge_stone_adder(4), true)

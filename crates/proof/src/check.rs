@@ -74,10 +74,16 @@ impl fmt::Display for CheckError {
                 write!(f, "step {step}: no pivot at chain position {position}")
             }
             CheckError::MultiplePivots { step, position } => {
-                write!(f, "step {step}: multiple pivots at chain position {position}")
+                write!(
+                    f,
+                    "step {step}: multiple pivots at chain position {position}"
+                )
             }
             CheckError::ResolventNotSubsumed { step, missing } => {
-                write!(f, "step {step}: resolvent literal {missing} not in recorded clause")
+                write!(
+                    f,
+                    "step {step}: resolvent literal {missing} not in recorded clause"
+                )
             }
             CheckError::RupFailed(s) => write!(f, "step {s} is not a RUP consequence"),
             CheckError::NoRefutation => write!(f, "proof contains no empty clause"),

@@ -71,10 +71,7 @@ pub fn compact(proof: &Proof, root: ClauseId) -> TrimResult {
         let nid = if step.is_original() {
             rewritten.add_original(step.clause.iter().copied())
         } else {
-            let ants = step
-                .antecedents
-                .iter()
-                .map(|a| canonical[a.as_usize()]);
+            let ants = step.antecedents.iter().map(|a| canonical[a.as_usize()]);
             rewritten.add_derived(step.clause.iter().copied(), ants)
         };
         debug_assert_eq!(nid, id);

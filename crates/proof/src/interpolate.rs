@@ -155,14 +155,20 @@ pub fn interpolant<F: Fn(ClauseId) -> bool>(
                 let m = if l.is_negative() { 2 } else { 1 };
                 if mark[v] != 0 && mark[v] != m {
                     if pivot.is_some() {
-                        failure = Some(CheckError::MultiplePivots { step: id, position: pos });
+                        failure = Some(CheckError::MultiplePivots {
+                            step: id,
+                            position: pos,
+                        });
                         break 'chain;
                     }
                     pivot = Some(l);
                 }
             }
             let Some(pivot) = pivot else {
-                failure = Some(CheckError::NoPivot { step: id, position: pos });
+                failure = Some(CheckError::NoPivot {
+                    step: id,
+                    position: pos,
+                });
                 break 'chain;
             };
             mark[pivot.var().as_usize()] = 0;

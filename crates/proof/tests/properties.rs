@@ -34,11 +34,7 @@ fn random_valid_proof(num_vars: u32, originals: usize, derivations: usize, seed:
         for _attempt in 0..30 {
             let (ia, ca) = &clauses[rng.gen_range(0..clauses.len())];
             let (ib, cb) = &clauses[rng.gen_range(0..clauses.len())];
-            let clashes: Vec<Lit> = ca
-                .iter()
-                .copied()
-                .filter(|l| cb.contains(&!*l))
-                .collect();
+            let clashes: Vec<Lit> = ca.iter().copied().filter(|l| cb.contains(&!*l)).collect();
             if clashes.len() != 1 {
                 continue;
             }

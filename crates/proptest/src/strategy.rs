@@ -1,0 +1,240 @@
+//! Value-generation strategies (no shrinking).
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// A recipe for generating values of one type from a seeded RNG.
+///
+/// Unlike upstream proptest there is no shrink tree: `generate` draws a
+/// single concrete value. All combinators are deterministic functions of
+/// the RNG stream.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut SmallRng) -> Self::Value;
+
+    /// Maps generated values through a function.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generates an intermediate value, then generates from the strategy
+    /// the function builds out of it.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Discards generated values failing the predicate (bounded retry).
+    fn prop_filter<F>(self, whence: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            whence,
+            f,
+        }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut SmallRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Clone, Debug)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, T, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    T: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T::Value;
+
+    fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Clone, Debug)]
+pub struct Filter<S, F> {
+    inner: S,
+    whence: &'static str,
+    f: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+        for _ in 0..1000 {
+            let v = self.inner.generate(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter gave up after 1000 rejections: {}", self.whence)
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut SmallRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical "uniform over the whole domain" strategy.
+pub trait Arbitrary: Sized {
+    /// The canonical strategy for the type.
+    type Strategy: Strategy<Value = Self>;
+
+    /// Builds the canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical whole-domain strategy for `T` (mirrors
+/// `proptest::arbitrary::any`).
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Whole-domain strategy for primitive types.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+macro_rules! impl_any {
+    ($($t:ty),*) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut SmallRng) -> $t {
+                rng.gen()
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = Any<$t>;
+            fn arbitrary() -> Any<$t> {
+                Any(std::marker::PhantomData)
+            }
+        }
+    )*};
+}
+
+impl_any!(bool, u8, u16, u32, u64, usize, i32, i64);
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut SmallRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut SmallRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i32, i64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+impl_tuple_strategy!(A, B, C, D, E, F, G);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ranges_and_tuples_generate_in_domain() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let s = (0u32..5, 10usize..=12, any::<bool>());
+        for _ in 0..100 {
+            let (a, b, _c) = s.generate(&mut rng);
+            assert!(a < 5);
+            assert!((10..=12).contains(&b));
+        }
+    }
+
+    #[test]
+    fn map_and_flat_map_compose() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let s = (1usize..4).prop_flat_map(|n| (0u64..10).prop_map(move |x| (n, x)));
+        for _ in 0..50 {
+            let (n, x) = s.generate(&mut rng);
+            assert!((1..4).contains(&n));
+            assert!(x < 10);
+        }
+    }
+
+    #[test]
+    fn just_yields_constant() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        assert_eq!(Just(7).generate(&mut rng), 7);
+    }
+}

@@ -1,0 +1,176 @@
+//! The deterministic case runner behind the [`crate::proptest!`] macro.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Runner configuration (the `ProptestConfig` of the prelude).
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+    /// Maximum rejected (`prop_assume!`) cases tolerated before the
+    /// test errors out as too narrow.
+    pub max_global_rejects: u32,
+    /// Accepted for source compatibility; shrinking is not implemented.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            cases: 256,
+            max_global_rejects: 65_536,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// The case was discarded by `prop_assume!`; it counts toward the
+    /// reject budget, not toward failure.
+    Reject,
+    /// The case failed an assertion.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure with a message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError::Fail(message.into())
+    }
+
+    /// Builds a rejection (alias mirroring upstream's `reject`).
+    pub fn reject(_message: impl Into<String>) -> Self {
+        TestCaseError::Reject
+    }
+}
+
+/// Result type of one generated case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Runs generated cases with per-case RNGs derived deterministically
+/// from the test name, so failures reproduce across runs and machines.
+#[derive(Clone, Debug)]
+pub struct TestRunner {
+    config: Config,
+    name: &'static str,
+    base_seed: u64,
+}
+
+/// FNV-1a, used to turn the test name into a stable seed.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+impl TestRunner {
+    /// Creates a runner for the named test.
+    pub fn new(config: Config, name: &'static str) -> Self {
+        let base_seed = fnv1a(name.as_bytes());
+        TestRunner {
+            config,
+            name,
+            base_seed,
+        }
+    }
+
+    /// Runs `f` on `config.cases` generated cases.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the first failing case (reporting name, case index, and
+    /// seed), or if the reject budget is exhausted.
+    pub fn run<F>(&mut self, mut f: F)
+    where
+        F: FnMut(&mut SmallRng) -> TestCaseResult,
+    {
+        let mut passed = 0u32;
+        let mut rejected = 0u32;
+        let mut case = 0u64;
+        while passed < self.config.cases {
+            let seed = self.base_seed ^ case.wrapping_mul(0x9E3779B97F4A7C15);
+            let mut rng = SmallRng::seed_from_u64(seed);
+            case += 1;
+            match f(&mut rng) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject) => {
+                    rejected += 1;
+                    assert!(
+                        rejected <= self.config.max_global_rejects,
+                        "proptest '{}': too many prop_assume! rejections ({rejected})",
+                        self.name
+                    );
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!(
+                        "proptest '{}' failed at case {} (seed {seed:#018x}):\n{msg}",
+                        self.name,
+                        case - 1,
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passes_when_all_cases_pass() {
+        let mut r = TestRunner::new(
+            Config {
+                cases: 10,
+                ..Config::default()
+            },
+            "t",
+        );
+        let mut n = 0;
+        r.run(|_| {
+            n += 1;
+            Ok(())
+        });
+        assert_eq!(n, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn fails_loudly() {
+        let mut r = TestRunner::new(Config::default(), "t");
+        r.run(|_| Err(TestCaseError::fail("boom")));
+    }
+
+    #[test]
+    fn rejects_within_budget_are_fine() {
+        let mut r = TestRunner::new(
+            Config {
+                cases: 5,
+                ..Config::default()
+            },
+            "t",
+        );
+        let mut i = 0;
+        r.run(|_| {
+            i += 1;
+            if i % 2 == 0 {
+                Err(TestCaseError::Reject)
+            } else {
+                Ok(())
+            }
+        });
+    }
+
+    #[test]
+    fn seeds_are_stable_across_runs() {
+        let a = TestRunner::new(Config::default(), "name");
+        let b = TestRunner::new(Config::default(), "name");
+        assert_eq!(a.base_seed, b.base_seed);
+    }
+}

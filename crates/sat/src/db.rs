@@ -149,6 +149,16 @@ impl ClauseDb {
         self.clauses.len() - self.num_deleted
     }
 
+    /// Iterates over all live clauses in insertion order, as
+    /// `(literals, proof id)`. The literal order within a clause is the
+    /// current watch order, not sorted.
+    pub fn live_iter(&self) -> impl Iterator<Item = (&[Lit], Option<ClauseId>)> + '_ {
+        self.clauses
+            .iter()
+            .filter(|c| !c.deleted)
+            .map(|c| (&*c.lits, c.proof_id))
+    }
+
     /// All live learnt clause references.
     pub fn learnt_refs(&self) -> Vec<ClauseRef> {
         (0..self.clauses.len())

@@ -340,7 +340,10 @@ impl Solver {
         if ls.windows(2).any(|w| w[0].var() == w[1].var()) {
             return None; // tautology
         }
-        let id = self.proof.as_mut().map(|p| p.add_original(ls.iter().copied()));
+        let id = self
+            .proof
+            .as_mut()
+            .map(|p| p.add_original(ls.iter().copied()));
         self.num_problem_clauses += 1;
         self.insert_clause(ls, false, id);
         id
@@ -359,12 +362,18 @@ impl Solver {
     /// Panics if proof logging is disabled, a variable is unallocated,
     /// or the clause is empty or tautological.
     pub fn add_derived_clause(&mut self, lits: &[Lit], antecedents: &[ClauseId]) -> ClauseId {
-        assert!(self.proof.is_some(), "derived clauses require proof logging");
+        assert!(
+            self.proof.is_some(),
+            "derived clauses require proof logging"
+        );
         self.cancel_until(0);
         let mut ls = lits.to_vec();
         ls.sort_unstable();
         ls.dedup();
-        assert!(!ls.is_empty(), "empty derived clause must come from solving");
+        assert!(
+            !ls.is_empty(),
+            "empty derived clause must come from solving"
+        );
         assert!(
             ls.windows(2).all(|w| w[0].var() != w[1].var()),
             "tautological derived clause"
@@ -376,6 +385,66 @@ impl Solver {
             .add_derived(ls.iter().copied(), antecedents.iter().copied());
         self.insert_clause(ls, false, Some(id));
         id
+    }
+
+    /// Adds a clause whose proof step *already exists* in this solver's
+    /// proof (or in no proof at all): the merged equivalence lemmas of
+    /// parallel sweep workers, whose derivations were stitched in via
+    /// [`Solver::merge_proof_cone`]. No new proof step is recorded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a variable is unallocated, the clause is empty or
+    /// tautological, or proof logging is on but `id` is `None` (the
+    /// clause could then become an unjustified reason in later chains).
+    pub fn add_proved_clause(&mut self, lits: &[Lit], id: Option<ClauseId>) {
+        self.cancel_until(0);
+        let mut ls = lits.to_vec();
+        ls.sort_unstable();
+        ls.dedup();
+        for l in &ls {
+            assert!(
+                l.var().index() < self.num_vars(),
+                "literal variable not allocated"
+            );
+        }
+        assert!(!ls.is_empty(), "empty proved clause must come from solving");
+        assert!(
+            ls.windows(2).all(|w| w[0].var() != w[1].var()),
+            "tautological proved clause"
+        );
+        assert!(
+            self.proof.is_none() || id.is_some(),
+            "proved clause needs a proof id when logging"
+        );
+        self.num_problem_clauses += 1;
+        self.insert_clause(ls, false, id);
+    }
+
+    /// Snapshots the live clause database: every live clause with its
+    /// proof step id, in insertion order. This is the deterministic
+    /// basis a parallel sweep worker rebuilds its private solver from.
+    pub fn live_clauses(&self) -> impl Iterator<Item = (&[Lit], Option<ClauseId>)> + '_ {
+        self.db.live_iter()
+    }
+
+    /// Merges the cone of `roots` from another proof into this solver's
+    /// proof (see [`proof::Proof::merge_cone`]); `map` is the persistent
+    /// local→global id translation table, updated in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if proof logging is disabled.
+    pub fn merge_proof_cone(
+        &mut self,
+        other: &Proof,
+        roots: &[ClauseId],
+        map: &mut Vec<Option<ClauseId>>,
+    ) {
+        self.proof
+            .as_mut()
+            .expect("merging derivations requires proof logging")
+            .merge_cone(other, roots, map)
     }
 
     /// Core clause insertion at decision level 0 (watch setup, unit
@@ -607,9 +676,9 @@ impl Solver {
         // Recursive minimization.
         self.analyze_toclear.clear();
         self.analyze_toclear.extend_from_slice(&learnt);
-        let abstract_levels = learnt[1..]
-            .iter()
-            .fold(0u32, |acc, l| acc | 1 << (self.level[l.var().as_usize()] & 31));
+        let abstract_levels = learnt[1..].iter().fold(0u32, |acc, l| {
+            acc | 1 << (self.level[l.var().as_usize()] & 31)
+        });
         let mut keep = vec![true; learnt.len()];
         for (i, &l) in learnt.iter().enumerate().skip(1) {
             if self.reason[l.var().as_usize()].is_some() && self.lit_redundant(l, abstract_levels) {
@@ -821,7 +890,9 @@ impl Solver {
     /// negations of the failed assumptions (empty for an outright
     /// refutation), plus its proof step when logging.
     pub fn final_clause(&self) -> Option<(&[Lit], Option<ClauseId>)> {
-        self.final_clause.as_ref().map(|(c, id)| (c.as_slice(), *id))
+        self.final_clause
+            .as_ref()
+            .map(|(c, id)| (c.as_slice(), *id))
     }
 
     /// Adds the last final conflict clause permanently to the clause
@@ -856,7 +927,9 @@ impl Solver {
     ///
     /// Panics if the last solve did not return [`SolveResult::Sat`].
     pub fn model_value(&self, v: Var) -> bool {
-        self.saved_model.as_ref().expect("no model: last solve was not SAT")[v.as_usize()]
+        self.saved_model
+            .as_ref()
+            .expect("no model: last solve was not SAT")[v.as_usize()]
     }
 
     /// The last satisfying model (indexed by variable), if any.
@@ -995,8 +1068,7 @@ impl Solver {
                         None => {
                             // All variables assigned: model found.
                             self.stats.decisions += 0;
-                            let model: Vec<bool> =
-                                self.value.iter().map(|&v| v == TRUE).collect();
+                            let model: Vec<bool> = self.value.iter().map(|&v| v == TRUE).collect();
                             self.saved_model = Some(model);
                             self.cancel_until(0);
                             return SolveResult::Sat;
@@ -1018,15 +1090,12 @@ impl Solver {
         let mut refs = self.db.learnt_refs();
         // Delete the worst half: high LBD first, then low activity.
         refs.sort_by(|&a, &b| {
-            self.db
-                .lbd(b)
-                .cmp(&self.db.lbd(a))
-                .then(
-                    self.db
-                        .activity(a)
-                        .partial_cmp(&self.db.activity(b))
-                        .unwrap_or(std::cmp::Ordering::Equal),
-                )
+            self.db.lbd(b).cmp(&self.db.lbd(a)).then(
+                self.db
+                    .activity(a)
+                    .partial_cmp(&self.db.activity(b))
+                    .unwrap_or(std::cmp::Ordering::Equal),
+            )
         });
         let target = refs.len() / 2;
         let mut deleted = 0;
@@ -1166,6 +1235,52 @@ mod tests {
         assert!(s.model_value(v[0]));
         assert!(proof::check::check_strict(s.proof().unwrap()).is_ok());
         assert!(proof::check::check_rup(s.proof().unwrap()).is_ok());
+    }
+
+    #[test]
+    fn snapshot_worker_merge_round_trip() {
+        // The parallel-sweep worker protocol in miniature: a global
+        // proof-logging solver, a worker rebuilt from its live-clause
+        // snapshot, a lemma proved in the worker, and the derivation
+        // cone stitched back into the global proof.
+        let mut global = Solver::with_proof();
+        let v = vars(&mut global, 3);
+        global.add_clause(&lits(&v, &[-1, 2]));
+        global.add_clause(&lits(&v, &[-2, 3]));
+
+        let snapshot: Vec<(Vec<Lit>, Option<ClauseId>)> = global
+            .live_clauses()
+            .map(|(ls, id)| (ls.to_vec(), id))
+            .collect();
+        assert_eq!(snapshot.len(), 2);
+
+        let mut worker = Solver::with_proof();
+        worker.ensure_vars(global.num_vars());
+        let mut original_map: Vec<Option<ClauseId>> = Vec::new();
+        for (ls, gid) in &snapshot {
+            let lid = worker.add_clause(ls).expect("logging on, no tautologies");
+            assert_eq!(lid.as_usize(), original_map.len());
+            original_map.push(*gid);
+        }
+        // Worker proves x → z and commits the lemma locally.
+        assert_eq!(worker.solve_with(&lits(&v, &[1, -3])), SolveResult::Unsat);
+        let fc = worker.commit_final_clause().unwrap();
+        let lemma = lits(&v, &[-1, 3]);
+        let lemma_id = worker.add_derived_clause(&lemma, &[fc]);
+        worker.tag_proof_step(lemma_id, StepRole::Lemma);
+
+        // Stitch the worker's derivation into the global proof.
+        let local = worker.into_proof().unwrap();
+        let mut map = original_map;
+        global.merge_proof_cone(&local, &[lemma_id], &mut map);
+        let gid = map[lemma_id.as_usize()].expect("root merged");
+        global.add_proved_clause(&lemma, Some(gid));
+        assert_eq!(global.proof().unwrap().role(gid), StepRole::Lemma);
+        assert!(proof::check::check_strict(global.proof().unwrap()).is_ok());
+        assert!(proof::check::check_rup(global.proof().unwrap()).is_ok());
+        // The merged lemma is live in the global database: x forces z.
+        assert_eq!(global.solve_with(&lits(&v, &[1])), SolveResult::Sat);
+        assert!(global.model_value(v[2]));
     }
 
     #[test]

@@ -165,9 +165,7 @@ fn multi_assumption_sets_agree_with_brute_force() {
                     );
                 }
                 // Commit reusable lemmas when derivable.
-                if id.is_some()
-                    && !fc.is_empty()
-                    && fc.windows(2).all(|w| w[0].var() != w[1].var())
+                if id.is_some() && !fc.is_empty() && fc.windows(2).all(|w| w[0].var() != w[1].var())
                 {
                     s.commit_final_clause();
                 }

@@ -16,10 +16,7 @@ use resolution_cec::proof;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let golden = array_multiplier(5);
-    println!(
-        "golden 5x5 array multiplier: {} gates",
-        golden.num_ands()
-    );
+    println!("golden 5x5 array multiplier: {} gates", golden.num_ands());
 
     let prover = Prover::new(CecOptions {
         verify: true,

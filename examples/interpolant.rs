@@ -80,7 +80,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             a_implies = false;
         }
     }
-    println!("A ⟹ I on all {} input patterns: {}", 1u64 << num_inputs, a_implies);
+    println!(
+        "A ⟹ I on all {} input patterns: {}",
+        1u64 << num_inputs,
+        a_implies
+    );
     assert!(a_implies);
 
     // Cross-check with a second solver: I ∧ B must be UNSAT.

@@ -104,7 +104,13 @@ fn monolithic_baseline_agrees_on_the_zoo() {
     for (name, a, b) in equivalent_pairs() {
         let outcome = prove_monolithic(&a, &b, &opts).unwrap_or_else(|e| panic!("{name}: {e}"));
         assert!(outcome.is_equivalent(), "{name}");
-        let p = outcome.certificate().unwrap().proof.as_ref().unwrap().clone();
+        let p = outcome
+            .certificate()
+            .unwrap()
+            .proof
+            .as_ref()
+            .unwrap()
+            .clone();
         proof::check::check_refutation(&p).unwrap_or_else(|e| panic!("{name}: {e}"));
     }
 }
@@ -118,7 +124,13 @@ fn stitched_proofs_are_smaller_than_monolithic_on_adders() {
     let b = gen::kogge_stone_adder(10);
     let sweep = Prover::new(CecOptions::default()).prove(&a, &b).unwrap();
     let mono = prove_monolithic(&a, &b, &MonolithicOptions::default()).unwrap();
-    let rs = sweep.certificate().unwrap().stats.proof.unwrap().resolutions;
+    let rs = sweep
+        .certificate()
+        .unwrap()
+        .stats
+        .proof
+        .unwrap()
+        .resolutions;
     let rm = mono.certificate().unwrap().stats.proof.unwrap().resolutions;
     assert!(
         rs * 2 < rm,
@@ -165,7 +177,9 @@ fn mutants_are_caught_by_both_engines() {
         // Ground truth by exhaustive evaluation (8 inputs).
         let truly_equal = resolution_cec::aig::sim::exhaustive_diff(&golden, &mutant, 8).is_none();
         tried += 1;
-        let sweep = Prover::new(verified_options()).prove(&golden, &mutant).unwrap();
+        let sweep = Prover::new(verified_options())
+            .prove(&golden, &mutant)
+            .unwrap();
         assert_eq!(sweep.is_equivalent(), truly_equal, "sweep seed {seed}");
         if !sweep.is_equivalent() {
             caught_sweep += 1;
@@ -219,6 +233,93 @@ fn rewritten_circuits_prove_equivalent_with_structural_merges() {
     let outcome = Prover::new(verified_options()).prove(&a, &b).unwrap();
     let cert = outcome.certificate().expect("rewrite preserves function");
     proof::check::check_refutation(cert.proof.as_ref().unwrap()).unwrap();
+}
+
+fn tracecheck_bytes(p: &proof::Proof) -> Vec<u8> {
+    let mut buf = Vec::new();
+    proof::export::write_tracecheck(p, &mut buf).unwrap();
+    buf
+}
+
+#[test]
+fn parallel_sweep_agrees_with_sequential_on_the_zoo() {
+    // Cross-mode equivalence: for every pair in the zoo, the sequential
+    // engine and the parallel engine at 2 and 4 workers return the same
+    // verdict, and every recorded proof passes both independent
+    // checkers (strict chain replay and RUP).
+    for (name, a, b) in equivalent_pairs() {
+        let sequential = Prover::new(CecOptions::default()).prove(&a, &b).unwrap();
+        assert!(sequential.is_equivalent(), "{name}: sequential");
+        for threads in [2usize, 4] {
+            let opts = CecOptions {
+                threads,
+                ..CecOptions::default()
+            };
+            let outcome = Prover::new(opts)
+                .prove(&a, &b)
+                .unwrap_or_else(|e| panic!("{name} threads={threads}: {e}"));
+            assert_eq!(
+                outcome.is_equivalent(),
+                sequential.is_equivalent(),
+                "{name} threads={threads}: verdict diverges from sequential"
+            );
+            let cert = outcome.certificate().unwrap();
+            let p = cert.proof.as_ref().expect("proof recorded");
+            proof::check::check_refutation(p)
+                .unwrap_or_else(|e| panic!("{name} threads={threads}: strict: {e}"));
+            proof::check::check_rup(p)
+                .unwrap_or_else(|e| panic!("{name} threads={threads}: rup: {e}"));
+        }
+    }
+}
+
+#[test]
+fn parallel_sweep_is_reproducible_across_runs() {
+    // Determinism: two same-seed 4-worker runs over the whole zoo
+    // produce byte-identical trimmed proofs.
+    for (name, a, b) in equivalent_pairs() {
+        let opts = CecOptions {
+            threads: 4,
+            ..CecOptions::default()
+        };
+        let trimmed: Vec<Vec<u8>> = (0..2)
+            .map(|_| {
+                let outcome = Prover::new(opts.clone()).prove(&a, &b).unwrap();
+                let cert = outcome.certificate().unwrap_or_else(|| panic!("{name}"));
+                let trim = proof::trim_refutation(cert.proof.as_ref().unwrap());
+                tracecheck_bytes(&trim.proof)
+            })
+            .collect();
+        assert_eq!(
+            trimmed[0], trimmed[1],
+            "{name}: same-seed parallel runs must emit identical trimmed proofs"
+        );
+    }
+}
+
+#[test]
+fn tracecheck_round_trip_preserves_checkability() {
+    // Golden round-trip: a stitched parallel proof survives TraceCheck
+    // export → import with every step intact and still passes both
+    // independent checkers.
+    let a = gen::ripple_carry_adder(6);
+    let b = gen::carry_select_adder(6, 2);
+    let opts = CecOptions {
+        threads: 2,
+        ..CecOptions::default()
+    };
+    let outcome = Prover::new(opts).prove(&a, &b).unwrap();
+    let cert = outcome.certificate().unwrap();
+    let original = cert.proof.as_ref().unwrap();
+
+    let bytes = tracecheck_bytes(original);
+    let reread = proof::import::read_tracecheck(&bytes[..]).expect("exported proof parses");
+    assert_eq!(reread.len(), original.len());
+    assert_eq!(reread.num_original(), original.num_original());
+    proof::check::check_refutation(&reread).unwrap();
+    proof::check::check_rup(&reread).unwrap();
+    // A second export of the imported proof is byte-identical.
+    assert_eq!(tracecheck_bytes(&reread), bytes);
 }
 
 #[test]
@@ -314,9 +415,10 @@ fn interpolants_from_miter_proofs_are_valid() {
     assert_eq!(solver.solve(), SolveResult::Unsat);
     let p = solver.proof().unwrap();
     let root = p.empty_clause().unwrap();
-    let itp =
-        interpolate::interpolant(p, root, |id| sides.get(id.as_usize()).copied() != Some(Partition::A))
-            .expect("interpolation succeeds");
+    let itp = interpolate::interpolant(p, root, |id| {
+        sides.get(id.as_usize()).copied() != Some(Partition::A)
+    })
+    .expect("interpolation succeeds");
     // A ⟹ I on every induced assignment.
     for bits in 0..(1u64 << a.num_inputs()) {
         let pattern: Vec<bool> = (0..a.num_inputs()).map(|i| bits >> i & 1 == 1).collect();
