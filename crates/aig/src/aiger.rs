@@ -153,7 +153,27 @@ fn read_delta<R: Read>(r: &mut R) -> Result<u32, ParseAigerError> {
 /// # Errors
 ///
 /// Returns [`ParseAigerError`] on malformed input or I/O failure.
-pub fn read<R: BufRead>(mut r: R) -> Result<Aig, ParseAigerError> {
+pub fn read<R: BufRead>(r: R) -> Result<Aig, ParseAigerError> {
+    read_impl(r, false)
+}
+
+/// Reads an AIGER file *preserving its gate structure*: no structural
+/// hashing and no constant folding, so duplicate, constant, and
+/// repeated-fanin AND gates survive exactly as authored.
+///
+/// [`read`] silently repairs such gates (they fold away during
+/// construction), which is what an engine wants but hides netlist
+/// defects from diagnostic passes; `rplint` loads through this entry
+/// point instead.
+///
+/// # Errors
+///
+/// Returns [`ParseAigerError`] on malformed input or I/O failure.
+pub fn read_raw<R: BufRead>(r: R) -> Result<Aig, ParseAigerError> {
+    read_impl(r, true)
+}
+
+fn read_impl<R: BufRead>(mut r: R, raw: bool) -> Result<Aig, ParseAigerError> {
     let mut header = String::new();
     r.read_line(&mut header)?;
     let fields: Vec<&str> = header.split_whitespace().collect();
@@ -179,9 +199,9 @@ pub fn read<R: BufRead>(mut r: R) -> Result<Aig, ParseAigerError> {
     }
 
     if binary {
-        read_binary_body(r, i, o, a)
+        read_binary_body(r, i, o, a, raw)
     } else {
-        read_ascii_body(r, m, i, o, a)
+        read_ascii_body(r, m, i, o, a, raw)
     }
 }
 
@@ -191,6 +211,7 @@ fn read_ascii_body<R: BufRead>(
     i: u32,
     o: u32,
     a: u32,
+    raw: bool,
 ) -> Result<Aig, ParseAigerError> {
     let mut line = String::new();
     let mut next_line = |r: &mut R, what: &str| -> Result<Vec<u32>, ParseAigerError> {
@@ -237,10 +258,16 @@ fn read_ascii_body<R: BufRead>(
         and_defs.push((v[0], v[1], v[2]));
     }
 
-    build_graph(m, &input_lits, &output_lits, &and_defs)
+    build_graph(m, &input_lits, &output_lits, &and_defs, raw)
 }
 
-fn read_binary_body<R: BufRead>(mut r: R, i: u32, o: u32, a: u32) -> Result<Aig, ParseAigerError> {
+fn read_binary_body<R: BufRead>(
+    mut r: R,
+    i: u32,
+    o: u32,
+    a: u32,
+    raw: bool,
+) -> Result<Aig, ParseAigerError> {
     // Binary format: inputs are implicitly 2,4,..,2I.
     let input_lits: Vec<u32> = (1..=i).map(|v| v * 2).collect();
     let mut output_lits = Vec::with_capacity(o as usize);
@@ -269,7 +296,7 @@ fn read_binary_body<R: BufRead>(mut r: R, i: u32, o: u32, a: u32) -> Result<Aig,
             .ok_or_else(|| ParseAigerError::Format(format!("and {k}: delta1 too large")))?;
         and_defs.push((lhs, rhs0, rhs1));
     }
-    build_graph(i + a, &input_lits, &output_lits, &and_defs)
+    build_graph(i + a, &input_lits, &output_lits, &and_defs, raw)
 }
 
 fn build_graph(
@@ -277,6 +304,7 @@ fn build_graph(
     input_lits: &[u32],
     output_lits: &[u32],
     and_defs: &[(u32, u32, u32)],
+    raw: bool,
 ) -> Result<Aig, ParseAigerError> {
     // map[aiger var] = our literal
     let mut map: Vec<Option<Lit>> = vec![None; m as usize + 1];
@@ -306,7 +334,12 @@ fn build_graph(
                 (Some(l0), Some(l1)) => {
                     let la = l0.xor_complement(r0 % 2 == 1);
                     let lb = l1.xor_complement(r1 % 2 == 1);
-                    map[var as usize] = Some(g.and(la, lb));
+                    let gate = if raw {
+                        g.and_raw(la, lb)
+                    } else {
+                        g.and(la, lb)
+                    };
+                    map[var as usize] = Some(gate);
                     false
                 }
                 _ => true,

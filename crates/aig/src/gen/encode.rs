@@ -148,7 +148,7 @@ pub fn popcount_serial(width: usize) -> Aig {
     for &x in &xs {
         // count += x, ripple increment.
         let mut carry = x;
-        for c in count.iter_mut() {
+        for c in &mut count {
             let (s, co) = half_adder(&mut g, *c, carry);
             *c = s;
             carry = co;

@@ -38,7 +38,7 @@ pub use shift::{barrel_shifter_log, barrel_shifter_mux};
 /// Alias kept because several EDA texts call the prefix adder a CLA.
 ///
 /// Equivalent to [`kogge_stone_adder`].
-pub fn carry_lookahead_adder(width: usize) -> crate::Aig {
+pub fn carry_lookahead_adder(width: usize) -> Aig {
     kogge_stone_adder(width)
 }
 

@@ -110,7 +110,7 @@ pub fn carry_save_multiplier(width: usize) -> Aig {
     // Final carry-propagate ripple over the two remaining rows.
     let mut product = Vec::with_capacity(2 * width);
     let mut carry = Lit::FALSE;
-    for col in columns.iter() {
+    for col in &columns {
         let (x, y) = match col.len() {
             0 => (Lit::FALSE, Lit::FALSE),
             1 => (col[0], Lit::FALSE),

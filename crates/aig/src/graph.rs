@@ -257,6 +257,24 @@ impl Aig {
         id.pos()
     }
 
+    /// Creates an AND node with *no* folding and *no* hashing: the gate
+    /// is preserved exactly as given (fanins are only reordered to keep
+    /// the `a.raw() <= b.raw()` invariant). Trivial gates — constant,
+    /// repeated, or opposed fanins — are allocated rather than folded
+    /// away.
+    ///
+    /// This exists for diagnostic netlist loading
+    /// ([`crate::aiger::read_raw`]): lint passes must see a file's gate
+    /// structure as authored, while [`Aig::and`] would silently repair
+    /// it. Engine code should never use it.
+    pub fn and_raw(&mut self, a: Lit, b: Lit) -> Lit {
+        let (a, b) = if a.raw() <= b.raw() { (a, b) } else { (b, a) };
+        let id = NodeId::new(self.nodes.len() as u32);
+        self.nodes.push(Node::And { a, b });
+        self.strash.entry((a, b)).or_insert(id);
+        id.pos()
+    }
+
     /// Looks up an existing AND of `a` and `b` without creating one.
     ///
     /// Applies the same normalization and folding rules as [`Aig::and`];

@@ -87,7 +87,7 @@ impl Aig {
         let mut inputs = vec![0u64; self.num_inputs()];
         #[allow(clippy::needless_range_loop)] // parallel fill of sigs[node][w]
         for w in 0..num_words {
-            for v in inputs.iter_mut() {
+            for v in &mut inputs {
                 *v = rng.gen();
             }
             let word_sigs = self.simulate_word(&inputs);

@@ -201,7 +201,7 @@ mod tests {
         let (sub, input_map) = g.extract_cone(&[g.outputs()[0]]);
         assert_eq!(sub.num_outputs(), 1);
         assert_eq!(sub.num_inputs(), 3);
-        assert!(input_map.iter().all(|m| m.is_some()));
+        assert!(input_map.iter().all(Option::is_some));
         sub.check().unwrap();
         // Brute-force equivalence over all 8 assignments.
         for bits in 0..8u32 {

@@ -12,10 +12,10 @@ fn bench_f1(c: &mut Criterion) {
     for &w in &widths {
         let pair = workloads::adder_scaling_pairs(&[w]).remove(0);
         group.bench_with_input(BenchmarkId::new("sweep", w), &pair, |b, pair| {
-            b.iter(|| assert!(sweep_prove(pair).is_equivalent()))
+            b.iter(|| assert!(sweep_prove(pair).is_equivalent()));
         });
         group.bench_with_input(BenchmarkId::new("mono", w), &pair, |b, pair| {
-            b.iter(|| assert!(mono_prove(pair).is_equivalent()))
+            b.iter(|| assert!(mono_prove(pair).is_equivalent()));
         });
     }
     group.finish();

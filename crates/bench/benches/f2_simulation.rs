@@ -17,7 +17,7 @@ fn bench_f2(c: &mut Criterion) {
                 b.iter(|| {
                     let classes = SimClasses::from_random_simulation(&miter.graph, words, 0xC0FFEE);
                     assert!(classes.num_classes() > 0);
-                })
+                });
             },
         );
     }

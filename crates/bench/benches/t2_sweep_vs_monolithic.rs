@@ -23,13 +23,13 @@ fn bench_t2(c: &mut Criterion) {
             b.iter(|| {
                 let outcome = sweep_prove(pair);
                 assert!(outcome.is_equivalent());
-            })
+            });
         });
         group.bench_function(format!("mono/{}", pair.name), |b| {
             b.iter(|| {
                 let outcome = mono_prove(pair);
                 assert!(outcome.is_equivalent());
-            })
+            });
         });
     }
     group.finish();

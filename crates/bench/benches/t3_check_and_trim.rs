@@ -13,10 +13,10 @@ fn bench_t3(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("t3");
     group.bench_function("check_strict/add-24", |b| {
-        b.iter(|| proof::check::check_refutation(&p).expect("checks"))
+        b.iter(|| proof::check::check_refutation(&p).expect("checks"));
     });
     group.bench_function("check_rup/add-24", |b| {
-        b.iter(|| proof::check::check_rup(&p).expect("checks"))
+        b.iter(|| proof::check::check_rup(&p).expect("checks"));
     });
     group.bench_function("trim/add-24", |b| b.iter(|| proof::trim_refutation(&p)));
     group.finish();

@@ -17,7 +17,7 @@ fn bench_t4(c: &mut Criterion) {
                     .prove(&pair.a, &pair.b)
                     .expect("well-formed");
                 assert!(outcome.is_equivalent());
-            })
+            });
         });
     }
     group.finish();

@@ -13,7 +13,7 @@ fn bench_t5(c: &mut Criterion) {
         b.iter(|| {
             let rows = run_t5(&pairs);
             assert!(rows[0].trimmed_itp_gates <= rows[0].raw_itp_gates.max(1) * 4);
-        })
+        });
     });
     group.finish();
 }

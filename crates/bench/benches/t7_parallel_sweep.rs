@@ -19,7 +19,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 fn bench_t7(c: &mut Criterion) {
     eprintln!(
         "t7: host exposes {} hardware thread(s)",
-        std::thread::available_parallelism().map_or(0, |n| n.get())
+        std::thread::available_parallelism().map_or(0, std::num::NonZero::get)
     );
     let a = ripple_carry_adder(64);
     let b = kogge_stone_adder(64);
@@ -36,7 +36,7 @@ fn bench_t7(c: &mut Criterion) {
                     .prove(&a, &b)
                     .expect("prove runs");
                 assert!(outcome.is_equivalent());
-            })
+            });
         });
     }
     group.finish();

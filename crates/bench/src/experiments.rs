@@ -398,8 +398,7 @@ impl T6Row {
         self.breakdown
             .iter()
             .find(|(r, ..)| *r == role)
-            .map(|(_, s, _)| *s)
-            .unwrap_or(0)
+            .map_or(0, |(_, s, _)| *s)
     }
 }
 

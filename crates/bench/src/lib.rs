@@ -42,7 +42,7 @@ pub fn render_table(header: &[&str], rows: &[Vec<String>]) -> String {
         line.push('\n');
         line
     };
-    let header_cells: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    let header_cells: Vec<String> = header.iter().map(ToString::to_string).collect();
     out.push_str(&fmt_row(&header_cells, &widths));
     let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
     out.push_str(&"-".repeat(total));

@@ -2,14 +2,20 @@
 //!
 //! ```text
 //! rcec A.aag B.aag [--monolithic] [--bdd] [--no-struct] [--no-share]
-//!      [--no-sweep] [--limit=N] [--threads=N] [--proof=FILE] [--trim]
-//!      [--check] [--quiet]
+//!      [--no-sweep] [--limit=N] [--threads=N] [--pairs-per-worker=N]
+//!      [--proof=FILE] [--trim] [--lint-proof] [--check] [--quiet]
 //! ```
 //!
 //! `--threads=N` shards the sweeping phase over `N` worker threads with
 //! private incremental solvers; the workers' derivations are stitched
 //! back into one global proof, deterministically for a given seed and
-//! thread count.
+//! thread count. `--pairs-per-worker=N` sizes each round's window of
+//! candidate pairs per worker (default 8).
+//!
+//! `--lint-proof` runs the static-analysis lint pass over the recorded
+//! proof (including the parallel mode's stitch-boundary consistency
+//! check) and prints its report — far cheaper than `--check`'s full
+//! replay. Lint *errors* fail the run with exit 2.
 //!
 //! `--bdd` uses the canonical-form ROBDD baseline: fastest on small
 //! structured circuits, but produces no proof and may answer UNDECIDED
@@ -47,8 +53,10 @@ fn run() -> Result<i32, String> {
             "no-sweep",
             "limit",
             "threads",
+            "pairs-per-worker",
             "proof",
             "trim",
+            "lint-proof",
             "check",
             "quiet",
         ],
@@ -57,8 +65,8 @@ fn run() -> Result<i32, String> {
     if args.positional.len() != 2 {
         return Err(
             "usage: rcec A.aag B.aag [--monolithic] [--no-struct] [--no-share] \
-                    [--no-sweep] [--limit=N] [--threads=N] [--proof=FILE] [--trim] \
-                    [--check] [--quiet]"
+                    [--no-sweep] [--limit=N] [--threads=N] [--pairs-per-worker=N] \
+                    [--proof=FILE] [--trim] [--lint-proof] [--check] [--quiet]"
                 .into(),
         );
     }
@@ -99,12 +107,14 @@ fn run() -> Result<i32, String> {
             &a,
             &b,
             &MonolithicOptions {
+                lint_proof: args.has("lint-proof"),
                 verify: args.has("check"),
                 ..MonolithicOptions::default()
             },
         )
     } else {
         let mut options = CecOptions {
+            lint_proof: args.has("lint-proof"),
             verify: args.has("check"),
             ..CecOptions::default()
         };
@@ -128,6 +138,13 @@ fn run() -> Result<i32, String> {
             }
             options.threads = threads;
         }
+        if let Some(v) = args.value("pairs-per-worker") {
+            let pairs: usize = v.parse().map_err(|e| format!("--pairs-per-worker: {e}"))?;
+            if pairs == 0 {
+                return Err("--pairs-per-worker: must be at least 1".into());
+            }
+            options.pairs_per_worker = pairs;
+        }
         Prover::new(options).prove(&a, &b)
     }
     .map_err(|e| e.to_string())?;
@@ -138,6 +155,14 @@ fn run() -> Result<i32, String> {
                 eprintln!("EQUIVALENT ({})", cert.stats);
                 for (i, w) in cert.stats.workers.iter().enumerate() {
                     eprintln!("worker {i}: {w}");
+                }
+            }
+            if let Some(report) = &cert.lint_report {
+                let stderr = std::io::stderr();
+                let mut w = stderr.lock();
+                report.write_text(&mut w).map_err(|e| e.to_string())?;
+                if !report.is_clean() {
+                    return Err(format!("proof lint failed: {}", report.counts()));
                 }
             }
             if let Some(path) = args.value("proof") {

@@ -1,12 +1,16 @@
 //! `rfraig` — functional reduction (FRAIG) of an AIGER netlist.
 //!
 //! ```text
-//! rfraig IN.aag OUT.aag [--binary] [--limit=N] [--threads=N] [--verify]
-//!        [--quiet]
+//! rfraig IN.aag OUT.aag [--binary] [--limit=N] [--threads=N]
+//!        [--pairs-per-worker=N] [--verify] [--lint-proof] [--quiet]
 //! ```
 //!
 //! `--threads=N` shards the sweeping phase over `N` worker threads
-//! (deterministic for a given seed and thread count).
+//! (deterministic for a given seed and thread count);
+//! `--pairs-per-worker=N` sizes each parallel round's candidate window.
+//! `--lint-proof` statically lints the proof recorded by the `--verify`
+//! equivalence check (it implies nothing on its own: reduction itself
+//! records no refutation).
 //!
 //! Merges functionally equivalent nodes by SAT sweeping and writes the
 //! reduced circuit. With `--verify`, the reduction is proven
@@ -34,13 +38,21 @@ fn main() -> ExitCode {
 fn run() -> Result<i32, String> {
     let args = Args::parse(
         std::env::args().skip(1),
-        &["binary", "limit", "threads", "verify", "quiet"],
+        &[
+            "binary",
+            "limit",
+            "threads",
+            "pairs-per-worker",
+            "verify",
+            "lint-proof",
+            "quiet",
+        ],
     )
     .map_err(|e| e.to_string())?;
     if args.positional.len() != 2 {
         return Err(
             "usage: rfraig IN.aag OUT.aag [--binary] [--limit=N] [--threads=N] \
-                    [--verify] [--quiet]"
+                    [--pairs-per-worker=N] [--verify] [--lint-proof] [--quiet]"
                 .into(),
         );
     }
@@ -61,6 +73,13 @@ fn run() -> Result<i32, String> {
         }
         options.threads = threads;
     }
+    if let Some(v) = args.value("pairs-per-worker") {
+        let pairs: usize = v.parse().map_err(|e| format!("--pairs-per-worker: {e}"))?;
+        if pairs == 0 {
+            return Err("--pairs-per-worker: must be at least 1".into());
+        }
+        options.pairs_per_worker = pairs;
+    }
     let reduced = reduce(&input, &options);
     if !args.has("quiet") {
         eprintln!(
@@ -74,13 +93,25 @@ fn run() -> Result<i32, String> {
     if args.has("verify") {
         let outcome = Prover::new(CecOptions {
             verify: true,
+            lint_proof: args.has("lint-proof"),
             threads: options.threads,
+            pairs_per_worker: options.pairs_per_worker,
             ..CecOptions::default()
         })
         .prove(&input, &reduced)
         .map_err(|e| e.to_string())?;
         if !outcome.is_equivalent() {
             return Err("internal error: reduction changed the function".into());
+        }
+        if let cec::CecOutcome::Equivalent(cert) = &outcome {
+            if let Some(report) = &cert.lint_report {
+                let stderr = std::io::stderr();
+                let mut w = stderr.lock();
+                report.write_text(&mut w).map_err(|e| e.to_string())?;
+                if !report.is_clean() {
+                    return Err(format!("proof lint failed: {}", report.counts()));
+                }
+            }
         }
         if !args.has("quiet") {
             eprintln!("verified: reduction is equivalence-preserving (proof checked)");

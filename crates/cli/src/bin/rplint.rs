@@ -1,0 +1,131 @@
+//! `rplint` — static analysis for resolution proofs, CNF formulas, and
+//! AIG netlists.
+//!
+//! ```text
+//! rplint FILE... [--kind=proof|cnf|aig] [--fast] [--refutation]
+//!                [--json] [--quiet]
+//! rplint --list
+//! ```
+//!
+//! The artifact kind is inferred from the extension (`.cnf`/`.dimacs` →
+//! CNF, `.aag`/`.aig` → AIG, anything else → TraceCheck proof) unless
+//! `--kind` overrides it. `--fast` restricts proofs to the structural
+//! lints (no antecedent chain analysis); `--refutation` requires an
+//! empty clause; `--json` prints one JSON report per file; `--list`
+//! prints the lint registry and exits.
+//!
+//! AIG files are loaded *without* structural hashing or constant
+//! folding so that duplicate and constant gates are reported rather
+//! than silently repaired.
+//!
+//! Exit codes: 0 no errors, 1 at least one error-severity finding,
+//! 2 usage or I/O error.
+
+use cec_tools::{exit, Args};
+use std::fs::File;
+use std::io::{BufReader, Write};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => ExitCode::from(code as u8),
+        Err(msg) => {
+            eprintln!("rplint: {msg}");
+            ExitCode::from(exit::ERROR as u8)
+        }
+    }
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Kind {
+    Proof,
+    Cnf,
+    Aig,
+}
+
+fn kind_of(path: &str, forced: Option<Kind>) -> Kind {
+    if let Some(k) = forced {
+        return k;
+    }
+    let lower = path.to_ascii_lowercase();
+    if lower.ends_with(".cnf") || lower.ends_with(".dimacs") {
+        Kind::Cnf
+    } else if lower.ends_with(".aag") || lower.ends_with(".aig") {
+        Kind::Aig
+    } else {
+        Kind::Proof
+    }
+}
+
+fn run() -> Result<i32, String> {
+    let args = Args::parse(
+        std::env::args().skip(1),
+        &["kind", "fast", "refutation", "json", "quiet", "list"],
+    )
+    .map_err(|e| e.to_string())?;
+
+    if args.has("list") {
+        for l in lint::REGISTRY {
+            println!(
+                "{} {:5} [{}] {} — {}",
+                l.code,
+                l.artifact.label(),
+                l.severity.label(),
+                l.name,
+                l.summary
+            );
+        }
+        return Ok(exit::OK);
+    }
+    if args.positional.is_empty() {
+        return Err(
+            "usage: rplint FILE... [--kind=proof|cnf|aig] [--fast] [--refutation] \
+             [--json] [--quiet] | rplint --list"
+                .into(),
+        );
+    }
+    let forced = match args.value("kind") {
+        None => None,
+        Some("proof") => Some(Kind::Proof),
+        Some("cnf") => Some(Kind::Cnf),
+        Some("aig") => Some(Kind::Aig),
+        Some(other) => return Err(format!("unknown kind `{other}` (proof|cnf|aig)")),
+    };
+    let mut opts = if args.has("fast") {
+        lint::LintOptions::structural()
+    } else {
+        lint::LintOptions::default()
+    };
+    opts.expect_refutation = args.has("refutation");
+
+    let mut worst = exit::OK;
+    for path in &args.positional {
+        let f = File::open(path).map_err(|e| format!("{path}: {e}"))?;
+        let mut r = BufReader::new(f);
+        let report = match kind_of(path, forced) {
+            Kind::Proof => lint::lint_tracecheck(r, &opts).map_err(|e| format!("{path}: {e}"))?,
+            Kind::Cnf => {
+                let f = cnf::dimacs::read(&mut r).map_err(|e| format!("{path}: {e}"))?;
+                lint::lint_cnf(&f, &opts)
+            }
+            Kind::Aig => {
+                let g = aig::aiger::read_raw(r).map_err(|e| format!("{path}: {e}"))?;
+                lint::lint_aig(&g, &opts)
+            }
+        };
+        if report.counts().errors > 0 {
+            worst = exit::NEGATIVE;
+        }
+        if args.has("json") {
+            println!("{}", report.to_json());
+        } else if !args.has("quiet") || !report.is_clean() {
+            let stdout = std::io::stdout();
+            let mut w = stdout.lock();
+            if args.positional.len() > 1 {
+                writeln!(w, "{path}:").map_err(|e| e.to_string())?;
+            }
+            report.write_text(&mut w).map_err(|e| e.to_string())?;
+        }
+    }
+    Ok(worst)
+}

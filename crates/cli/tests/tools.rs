@@ -314,6 +314,130 @@ fn rfraig_reduces_and_round_trips() {
 }
 
 #[test]
+fn rplint_accepts_engine_proofs_and_lint_gate_passes() {
+    // rcec emits proofs (sequential and 4-thread) with its own
+    // --lint-proof gate on; rplint then audits the files standalone.
+    let a_path = tmp("plint-a.aag");
+    let b_path = tmp("plint-b.aag");
+    write_aiger(&aig::gen::ripple_carry_adder(8), &a_path);
+    write_aiger(&aig::gen::kogge_stone_adder(8), &b_path);
+    for threads in ["1", "4"] {
+        let proof_path = tmp(&format!("plint-{threads}.trace"));
+        let out = run(
+            env!("CARGO_BIN_EXE_rcec"),
+            &[
+                a_path.to_str().unwrap(),
+                b_path.to_str().unwrap(),
+                &format!("--threads={threads}"),
+                &format!("--proof={}", proof_path.display()),
+                "--lint-proof",
+                "--trim",
+                "--quiet",
+            ],
+        );
+        assert_eq!(out.status.code(), Some(0), "{out:?}");
+        assert!(String::from_utf8_lossy(&out.stdout).contains("EQUIVALENT"));
+
+        let out = run(
+            env!("CARGO_BIN_EXE_rplint"),
+            &[proof_path.to_str().unwrap(), "--refutation"],
+        );
+        assert_eq!(out.status.code(), Some(0), "{out:?}");
+        assert!(String::from_utf8_lossy(&out.stdout).contains("0 errors"));
+        let _ = fs::remove_file(proof_path);
+    }
+    let _ = fs::remove_file(a_path);
+    let _ = fs::remove_file(b_path);
+}
+
+#[test]
+fn rplint_flags_corrupted_proof_with_specific_code() {
+    // A mis-ordered chain: replaying (x0∨x1) against (¬x1∨x2) first
+    // leaves x1 in the resolvent that the recorded clause (x2) lacks.
+    let path = tmp("plint-swap.trace");
+    fs::write(&path, "1 1 2 0 0\n2 -1 2 0 0\n3 -2 3 0 0\n4 3 0 1 3 2 0\n").unwrap();
+    let out = run(env!("CARGO_BIN_EXE_rplint"), &[path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("RP103"), "{text}");
+    assert!(text.contains("error"), "{text}");
+
+    // The structural-only pass skips chain replay and accepts the file.
+    let out = run(
+        env!("CARGO_BIN_EXE_rplint"),
+        &[path.to_str().unwrap(), "--fast"],
+    );
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let _ = fs::remove_file(path);
+}
+
+#[test]
+fn rplint_json_and_registry_listing() {
+    let path = tmp("plint-json.trace");
+    fs::write(&path, "1 1 0 0\n").unwrap();
+    let out = run(
+        env!("CARGO_BIN_EXE_rplint"),
+        &[path.to_str().unwrap(), "--refutation", "--json"],
+    );
+    // JSON mode still signals errors through the exit code (RP002: no
+    // empty clause despite --refutation).
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("\"artifact\":\"proof\""), "{text}");
+    assert!(text.contains("\"RP002\""), "{text}");
+    assert!(text.contains("\"summary\""), "{text}");
+    let _ = fs::remove_file(path);
+
+    let out = run(env!("CARGO_BIN_EXE_rplint"), &["--list"]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    for code in ["RP001", "RP101", "CF001", "AG001"] {
+        assert!(text.contains(code), "--list missing {code}");
+    }
+}
+
+#[test]
+fn rplint_lints_cnf_and_aig_files() {
+    // CNF with a duplicate clause, a tautology, and an unused variable:
+    // all warnings, so the exit stays 0 while the codes are reported.
+    let cnf_path = tmp("plint.cnf");
+    fs::write(&cnf_path, "p cnf 4 3\n1 2 0\n2 1 0\n3 -3 4 0\n").unwrap();
+    let out = run(env!("CARGO_BIN_EXE_rplint"), &[cnf_path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("CF002"), "{text}");
+    assert!(text.contains("CF003"), "{text}");
+    let _ = fs::remove_file(cnf_path);
+
+    // An AIG with two structurally identical ANDs: rplint loads the
+    // file without re-hashing, so AG002 sees the duplicate.
+    let mut g = aig::Aig::new();
+    let x = g.add_input();
+    let y = g.add_input();
+    let a = g.and_raw(x, y);
+    let b = g.and_raw(x, y);
+    let top = g.and_raw(a, b);
+    g.add_output(top);
+    let aig_path = tmp("plint.aag");
+    write_aiger(&g, &aig_path);
+    let out = run(env!("CARGO_BIN_EXE_rplint"), &[aig_path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("AG002"), "{text}");
+    let _ = fs::remove_file(aig_path);
+}
+
+#[test]
+fn rplint_usage_errors() {
+    let out = run(env!("CARGO_BIN_EXE_rplint"), &[]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = run(env!("CARGO_BIN_EXE_rplint"), &["x", "--kind=nonsense"]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = run(env!("CARGO_BIN_EXE_rplint"), &["x", "--bogus"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
 fn rcec_bdd_mode() {
     let a_path = tmp("bdd-a.aag");
     let b_path = tmp("bdd-b.aag");

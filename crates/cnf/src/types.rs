@@ -248,7 +248,7 @@ impl Cnf {
 
     /// Total number of literal occurrences.
     pub fn num_literals(&self) -> usize {
-        self.clauses.iter().map(|c| c.len()).sum()
+        self.clauses.iter().map(Vec::len).sum()
     }
 
     /// Evaluates the formula under a total assignment

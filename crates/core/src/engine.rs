@@ -67,8 +67,23 @@ pub struct CecOptions {
     /// worker-then-discovery order — so the verdict *and* the proof are
     /// byte-for-byte deterministic for a given seed and thread count.
     pub threads: usize,
+    /// Candidate pairs dealt to each worker per parallel round. The
+    /// window trades per-round synchronization cost against lemma
+    /// locality: pairs are discharged in topological order, so a small
+    /// window means a pair's fanin-cone equivalences were almost always
+    /// merged in an earlier round and reach the worker as unit-strength
+    /// lemma clauses — keeping per-pair conflict work near the
+    /// sequential level — while a large window forces workers to
+    /// re-derive in-flight predecessors from scratch.
+    pub pairs_per_worker: usize,
     /// Record a resolution proof.
     pub proof: bool,
+    /// Run the static-analysis lint pass over the recorded proof before
+    /// returning: lint counts land in [`EngineStats::lints`] and the
+    /// full report in [`crate::Certificate::lint_report`]. Much cheaper
+    /// than [`CecOptions::verify`]'s full replay, and localizes defects
+    /// instead of rejecting wholesale.
+    pub lint_proof: bool,
     /// Re-check the recorded proof with the independent checker before
     /// returning, and validate counterexamples by evaluation. Failures
     /// become [`CecError`]s instead of silently wrong verdicts.
@@ -85,7 +100,9 @@ impl Default for CecOptions {
             sweep: true,
             pair_conflict_limit: None,
             threads: 1,
+            pairs_per_worker: 8,
             proof: true,
+            lint_proof: false,
             verify: false,
         }
     }
@@ -178,6 +195,7 @@ impl Prover {
                 let empty = sweep.solver.empty_clause_id();
                 let partition = sweep.sides.take();
                 let proof = sweep.solver.into_proof();
+                let mut lint_report = None;
                 if let Some(p) = &proof {
                     stats.proof = Some(p.stats());
                     let check_start = Instant::now();
@@ -189,6 +207,16 @@ impl Prover {
                     if self.options.verify {
                         stats.check_elapsed = Some(check_start.elapsed());
                     }
+                    if self.options.lint_proof {
+                        let lint_opts = lint::LintOptions {
+                            expect_refutation: true,
+                            stitch_boundaries: stats.stitch_boundaries.clone(),
+                            ..lint::LintOptions::default()
+                        };
+                        let report = lint::lint_proof(p, &lint_opts);
+                        stats.lints = Some(report.counts());
+                        lint_report = Some(report);
+                    }
                 }
                 stats.elapsed = start.elapsed();
                 Ok(CecOutcome::Equivalent(Box::new(Certificate {
@@ -196,6 +224,7 @@ impl Prover {
                     empty_clause: empty,
                     partition,
                     stats,
+                    lint_report,
                 })))
             }
             SolveResult::Sat => {
@@ -326,16 +355,6 @@ enum PairVerdict {
     /// The per-pair conflict budget ran out.
     Skipped,
 }
-
-/// Candidate pairs dealt to each worker per parallel round. The window
-/// trades per-round synchronization cost against lemma locality: pairs
-/// are discharged in topological order, so a small window means a
-/// pair's fanin-cone equivalences were almost always merged in an
-/// earlier round and reach the worker as unit-strength lemma clauses —
-/// keeping per-pair conflict work near the sequential level — while a
-/// large window forces workers to re-derive in-flight predecessors from
-/// scratch.
-const PAIRS_PER_WORKER_PER_ROUND: usize = 8;
 
 /// One clause of the shared database feed: the global clause stream
 /// (initial snapshot, then every lemma in merge order) that workers
@@ -736,7 +755,7 @@ impl<'g> Sweep<'g> {
     ///    (reps move between rounds, so stale keys must not survive).
     /// 2. **Collect**: a *window* of the topologically first candidate
     ///    pairs `(n, root, phase)` of the live classes —
-    ///    [`PAIRS_PER_WORKER_PER_ROUND`] per worker. Class members
+    ///    [`CecOptions::pairs_per_worker`] per worker. Class members
     ///    always have `rep = None` (merged nodes are removed from their
     ///    class), so targets are class leaders and no node is sharded
     ///    twice. The small window preserves lemma locality: a pair's
@@ -775,7 +794,15 @@ impl<'g> Sweep<'g> {
         let proof_mode = self.options.proof;
         let budget = self.options.pair_conflict_limit;
         let graph = self.graph;
-        let window = threads * PAIRS_PER_WORKER_PER_ROUND;
+        let window = threads * self.options.pairs_per_worker.max(1);
+        if let Some(p) = self.solver.proof() {
+            // Anchor of the stitch segments: everything appended between
+            // here and the end of the last round is parallel-merge
+            // output, which the RP007 lint cross-checks.
+            self.stats
+                .stitch_boundaries
+                .push(u32::try_from(p.len()).expect("proof fits u32 ids"));
+        }
 
         let mut feed: Vec<FeedClause> = self
             .solver
@@ -982,6 +1009,11 @@ impl<'g> Sweep<'g> {
                             }
                         }
                     }
+                }
+                if let Some(p) = self.solver.proof() {
+                    self.stats
+                        .stitch_boundaries
+                        .push(u32::try_from(p.len()).expect("proof fits u32 ids"));
                 }
             }
             // Dropping the job senders ends the worker loops; the scope

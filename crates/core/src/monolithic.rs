@@ -18,6 +18,9 @@ use std::time::Instant;
 pub struct MonolithicOptions {
     /// Record a resolution proof.
     pub proof: bool,
+    /// Run the proof lint pass before returning (see
+    /// [`crate::CecOptions::lint_proof`]).
+    pub lint_proof: bool,
     /// Re-check the proof / counterexample before returning.
     pub verify: bool,
 }
@@ -26,6 +29,7 @@ impl Default for MonolithicOptions {
     fn default() -> Self {
         MonolithicOptions {
             proof: true,
+            lint_proof: false,
             verify: false,
         }
     }
@@ -91,6 +95,7 @@ pub fn prove_monolithic(
         SolveResult::Unsat => {
             let empty = solver.empty_clause_id();
             let proof: Option<Proof> = solver.into_proof();
+            let mut lint_report = None;
             if let Some(p) = &proof {
                 stats.proof = Some(p.stats());
                 let check_start = Instant::now();
@@ -100,6 +105,15 @@ pub fn prove_monolithic(
                 }
                 let t = proof::trim_refutation(p);
                 stats.trimmed = Some(t.proof.stats());
+                if options.lint_proof {
+                    let lint_opts = lint::LintOptions {
+                        expect_refutation: true,
+                        ..lint::LintOptions::default()
+                    };
+                    let report = lint::lint_proof(p, &lint_opts);
+                    stats.lints = Some(report.counts());
+                    lint_report = Some(report);
+                }
             }
             stats.elapsed = start.elapsed();
             let partition = proof.as_ref().map(|_| {
@@ -113,6 +127,7 @@ pub fn prove_monolithic(
                 empty_clause: empty,
                 partition,
                 stats,
+                lint_report,
             })))
         }
         SolveResult::Sat => {

@@ -84,6 +84,14 @@ pub struct EngineStats {
     pub elapsed: Duration,
     /// Wall-clock time spent checking the proof, when verification ran.
     pub check_elapsed: Option<Duration>,
+    /// Proof lengths recorded around the parallel sweep: the length when
+    /// the sweep began, then after each round's merge phase. Empty for
+    /// sequential runs or with proof logging off. Feeds the lint pass's
+    /// stitch-boundary consistency check (RP007).
+    pub stitch_boundaries: Vec<u32>,
+    /// Diagnostic counts from the proof lint pass, when
+    /// [`crate::CecOptions::lint_proof`] ran.
+    pub lints: Option<lint::LintCounts>,
 }
 
 impl fmt::Display for EngineStats {
@@ -117,6 +125,9 @@ pub struct Certificate {
     pub partition: Option<Vec<(ClauseId, cnf::tseitin::Partition)>>,
     /// Run counters.
     pub stats: EngineStats,
+    /// The proof lint report, when [`crate::CecOptions::lint_proof`]
+    /// ran (its counts are also in [`EngineStats::lints`]).
+    pub lint_report: Option<lint::Report>,
 }
 
 impl Certificate {

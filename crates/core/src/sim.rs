@@ -83,7 +83,7 @@ impl SimClasses {
         self.classes
             .iter()
             .filter(|c| c.len() >= 2)
-            .map(|c| c.len())
+            .map(Vec::len)
             .sum()
     }
 
@@ -212,7 +212,7 @@ mod tests {
     #[test]
     fn refinement_splits_on_distinguishing_pattern() {
         // Two functions equal on pattern 00 but different on 11: x&y vs x|y.
-        let mut g = aig::Aig::new();
+        let mut g = Aig::new();
         let x = g.add_input();
         let y = g.add_input();
         let and = g.and(x, y);

@@ -1,0 +1,619 @@
+//! Static analysis for the proof-producing CEC pipeline.
+//!
+//! Where `proof::check` *replays* every resolution chain literally, this
+//! crate inspects the **structure** of an artifact — a resolution proof,
+//! a CNF formula, or an AIG netlist — and reports defects as
+//! [`Diagnostic`]s with stable codes and severities, the way a compiler
+//! lints source code. Structure-only passes are far cheaper than replay
+//! and localize problems (``error[RP101] step c42: …``) instead of
+//! failing with a single opaque verdict, which makes them the right
+//! first tool when triaging a corrupted or hand-edited proof.
+//!
+//! Three entry points, one per artifact kind:
+//!
+//! - [`lint_proof`] — a [`proof::Proof`] already in memory;
+//! - [`lint_tracecheck`] — a TraceCheck file, parsed leniently so that
+//!   defects the strict importer rejects (forward references, id-order
+//!   violations) surface as diagnostics rather than hard errors;
+//! - [`lint_cnf`] / [`lint_aig`] — DIMACS formulas and AIG netlists.
+//!
+//! Every lint is registered in [`REGISTRY`] with a stable code (`RPxxx`
+//! for proofs, `CFxxx` for CNF, `AGxxx` for AIG). Codes in the `RP1xx`
+//! range perform *chain analysis* — they gather antecedent clause
+//! literals — while `RP0xx` codes are purely structural; the
+//! [`LintOptions::chain`] switch selects between the fast structural
+//! pass and the full set. Reports render as text or JSON.
+
+#![warn(missing_docs)]
+
+mod aig_lints;
+mod cnf_lints;
+mod proof_lints;
+mod trace;
+
+pub use aig_lints::lint_aig;
+pub use cnf_lints::lint_cnf;
+pub use proof_lints::lint_proof;
+pub use trace::lint_tracecheck;
+
+use std::fmt;
+use std::io::{self, Write};
+
+/// How bad a diagnostic is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Informational: expected in healthy artifacts (e.g. dead proof
+    /// steps before trimming) but worth surfacing.
+    Info,
+    /// Suspicious: sound but wasteful or fragile (duplicate
+    /// derivations, dangling AIG nodes).
+    Warn,
+    /// The artifact is defective: a checker or consumer will reject it.
+    Error,
+}
+
+impl Severity {
+    /// Lower-case label, as printed in text and JSON output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warn => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The kind of artifact a lint (or report) applies to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Artifact {
+    /// A resolution proof (in memory or as a TraceCheck file).
+    Proof,
+    /// A CNF formula.
+    Cnf,
+    /// An And-Inverter Graph netlist.
+    Aig,
+}
+
+impl Artifact {
+    /// Lower-case label, as printed in text and JSON output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Artifact::Proof => "proof",
+            Artifact::Cnf => "cnf",
+            Artifact::Aig => "aig",
+        }
+    }
+}
+
+/// A registered lint: stable code, human name, default severity.
+#[derive(Debug)]
+pub struct Lint {
+    /// Stable code, e.g. `"RP001"`. Never reused once published.
+    pub code: &'static str,
+    /// Short kebab-case name, e.g. `"forward-reference"`.
+    pub name: &'static str,
+    /// Default severity of this lint's diagnostics.
+    pub severity: Severity,
+    /// Artifact kind this lint inspects.
+    pub artifact: Artifact,
+    /// Whether the lint gathers antecedent clause literals (chain
+    /// analysis, `RP1xx`) rather than step metadata only. Chain lints
+    /// are skipped by the fast structural pass.
+    pub chain: bool,
+    /// One-line description, shown by `rplint --list`.
+    pub summary: &'static str,
+}
+
+macro_rules! lints {
+    ($($ident:ident = ($code:literal, $name:literal, $sev:ident, $artifact:ident, $chain:literal, $summary:literal);)*) => {
+        $(
+            #[doc = $summary]
+            pub const $ident: &Lint = &Lint {
+                code: $code,
+                name: $name,
+                severity: Severity::$sev,
+                artifact: Artifact::$artifact,
+                chain: $chain,
+                summary: $summary,
+            };
+        )*
+        /// Every registered lint, in code order.
+        pub const REGISTRY: &[&Lint] = &[$($ident),*];
+    };
+}
+
+lints! {
+    RP001 = ("RP001", "forward-reference", Error, Proof, false,
+        "a derived step cites itself, a later step, or an undefined step");
+    RP002 = ("RP002", "no-refutation", Error, Proof, false,
+        "the proof claims to refute but contains no empty clause");
+    RP003 = ("RP003", "tautological-clause", Error, Proof, false,
+        "a recorded clause contains a variable in both polarities");
+    RP004 = ("RP004", "duplicate-derivation", Warn, Proof, false,
+        "a derived clause repeats an earlier step's clause verbatim");
+    RP005 = ("RP005", "dead-step", Info, Proof, false,
+        "a derived step lies outside the empty clause's antecedent cone");
+    RP006 = ("RP006", "unused-input", Info, Proof, false,
+        "an input clause is never used by the refutation cone");
+    RP007 = ("RP007", "stitch-boundary", Error, Proof, false,
+        "a parallel merge-cone stitch segment is inconsistent");
+    RP008 = ("RP008", "parse-error", Error, Proof, false,
+        "the TraceCheck file violates the step grammar");
+    RP009 = ("RP009", "id-order", Error, Proof, false,
+        "TraceCheck step ids are not the dense sequence 1, 2, 3, …");
+    RP101 = ("RP101", "chain-pivot-count", Error, Proof, true,
+        "an antecedent chain has fewer clashing variable pairs than resolutions");
+    RP102 = ("RP102", "unresolvable-literal", Error, Proof, true,
+        "a literal no resolution can cancel is missing from the recorded clause");
+    RP103 = ("RP103", "chain-order", Error, Proof, true,
+        "replaying the chain in its recorded order keeps a literal the recorded clause lacks");
+    RP104 = ("RP104", "ambiguous-pivot", Error, Proof, true,
+        "an antecedent clashes with the running resolvent on more than one variable");
+    RP105 = ("RP105", "missing-pivot", Error, Proof, true,
+        "an antecedent shares no clashing variable with the running resolvent");
+    RP106 = ("RP106", "irregular-chain", Warn, Proof, true,
+        "a chain resolves on the same pivot variable more than once");
+    CF001 = ("CF001", "unused-variable", Warn, Cnf, false,
+        "a variable inside the declared range occurs in no clause");
+    CF002 = ("CF002", "duplicate-clause", Warn, Cnf, false,
+        "a clause repeats an earlier clause verbatim (up to literal order)");
+    CF003 = ("CF003", "tautological-clause", Warn, Cnf, false,
+        "a clause contains a variable in both polarities");
+    CF004 = ("CF004", "variable-gap", Info, Cnf, false,
+        "a contiguous run of declared variables is entirely unused (Tseitin range gap)");
+    AG001 = ("AG001", "dangling-node", Warn, Aig, false,
+        "an AND node is not in the fanin cone of any output");
+    AG002 = ("AG002", "duplicate-and", Warn, Aig, false,
+        "two AND nodes have the same normalized fanin pair (missed structural hashing)");
+    AG003 = ("AG003", "constant-and", Warn, Aig, false,
+        "an AND gate is constant-propagatable (constant or repeated/opposed fanins)");
+    AG004 = ("AG004", "unused-input", Info, Aig, false,
+        "a primary input feeds no output cone");
+}
+
+/// Looks up a lint by its stable code (e.g. `"RP101"`).
+pub fn find(code: &str) -> Option<&'static Lint> {
+    REGISTRY.iter().find(|l| l.code == code).copied()
+}
+
+/// Where in the artifact a diagnostic points.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Location {
+    /// A proof step (0-based step index, printed as `c<n>` like
+    /// [`proof::ClauseId`]).
+    Step(u32),
+    /// A CNF or proof variable (0-based).
+    Var(u32),
+    /// A CNF clause (0-based position in the formula).
+    Clause(u32),
+    /// An AIG node.
+    Node(u32),
+    /// A line of an input file (1-based).
+    Line(u32),
+}
+
+impl fmt::Display for Location {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Location::Step(i) => write!(f, "step c{i}"),
+            Location::Var(v) => write!(f, "var {}", v + 1),
+            Location::Clause(c) => write!(f, "clause {c}"),
+            Location::Node(n) => write!(f, "node n{n}"),
+            Location::Line(l) => write!(f, "line {l}"),
+        }
+    }
+}
+
+/// One finding: a lint, a severity, an optional anchor, and a message.
+#[derive(Debug)]
+pub struct Diagnostic {
+    /// The lint that produced this finding.
+    pub lint: &'static Lint,
+    /// Severity (usually the lint's default; tautological *input*
+    /// clauses, for example, downgrade to a warning).
+    pub severity: Severity,
+    /// Anchor inside the artifact, when one exists.
+    pub location: Option<Location>,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+/// Aggregated diagnostic counts by severity, cheap to embed in engine
+/// statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LintCounts {
+    /// Number of error-severity diagnostics.
+    pub errors: usize,
+    /// Number of warning-severity diagnostics.
+    pub warnings: usize,
+    /// Number of info-severity diagnostics.
+    pub infos: usize,
+}
+
+impl LintCounts {
+    /// True when no error-severity diagnostic was recorded.
+    pub fn is_clean(&self) -> bool {
+        self.errors == 0
+    }
+}
+
+impl fmt::Display for LintCounts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} errors, {} warnings, {} infos",
+            self.errors, self.warnings, self.infos
+        )
+    }
+}
+
+/// Knobs for a lint run.
+#[derive(Clone, Debug)]
+pub struct LintOptions {
+    /// Run the chain-analysis lints (`RP1xx`), which gather antecedent
+    /// clause literals per derived step. `false` selects the fast
+    /// structural-only pass.
+    pub chain: bool,
+    /// Require the proof to contain an empty clause ([`RP002`]).
+    pub expect_refutation: bool,
+    /// Proof lengths recorded around the parallel sweep: the length
+    /// when stitching began, then after each round's merge. Enables the
+    /// [`RP007`] stitch-boundary consistency lint.
+    pub stitch_boundaries: Vec<u32>,
+    /// Materialized diagnostics per lint; further findings are still
+    /// *counted* but carry no message (shown as "N total" in output).
+    pub max_per_lint: usize,
+}
+
+impl Default for LintOptions {
+    fn default() -> Self {
+        LintOptions {
+            chain: true,
+            expect_refutation: false,
+            stitch_boundaries: Vec::new(),
+            max_per_lint: 20,
+        }
+    }
+}
+
+impl LintOptions {
+    /// The fast structural-only configuration: every lint that does not
+    /// gather antecedent chain literals.
+    pub fn structural() -> Self {
+        LintOptions {
+            chain: false,
+            ..LintOptions::default()
+        }
+    }
+}
+
+/// Per-lint tally inside a [`Report`].
+#[derive(Debug)]
+struct LintTally {
+    lint: &'static Lint,
+    total: usize,
+    shown: usize,
+}
+
+/// The outcome of linting one artifact: materialized diagnostics plus
+/// complete per-lint and per-severity tallies (diagnostics beyond
+/// [`LintOptions::max_per_lint`] are counted but not materialized).
+#[derive(Debug)]
+pub struct Report {
+    /// What kind of artifact was linted.
+    pub artifact: Artifact,
+    diags: Vec<Diagnostic>,
+    tallies: Vec<LintTally>,
+    counts: LintCounts,
+}
+
+impl Report {
+    /// An empty report for the given artifact kind.
+    pub fn new(artifact: Artifact) -> Self {
+        Report {
+            artifact,
+            diags: Vec::new(),
+            tallies: Vec::new(),
+            counts: LintCounts::default(),
+        }
+    }
+
+    /// Records a finding at the lint's default severity. The message
+    /// closure runs only if the finding is materialized (under `cap`).
+    pub fn emit(
+        &mut self,
+        lint: &'static Lint,
+        location: Option<Location>,
+        cap: usize,
+        message: impl FnOnce() -> String,
+    ) {
+        self.emit_severity(lint, lint.severity, location, cap, message);
+    }
+
+    /// Records a finding with an explicit severity override.
+    pub fn emit_severity(
+        &mut self,
+        lint: &'static Lint,
+        severity: Severity,
+        location: Option<Location>,
+        cap: usize,
+        message: impl FnOnce() -> String,
+    ) {
+        match severity {
+            Severity::Error => self.counts.errors += 1,
+            Severity::Warn => self.counts.warnings += 1,
+            Severity::Info => self.counts.infos += 1,
+        }
+        let tally = match self.tallies.iter_mut().find(|t| t.lint.code == lint.code) {
+            Some(t) => t,
+            None => {
+                self.tallies.push(LintTally {
+                    lint,
+                    total: 0,
+                    shown: 0,
+                });
+                self.tallies.last_mut().expect("just pushed")
+            }
+        };
+        tally.total += 1;
+        if tally.shown < cap {
+            tally.shown += 1;
+            self.diags.push(Diagnostic {
+                lint,
+                severity,
+                location,
+                message: message(),
+            });
+        }
+    }
+
+    /// The materialized diagnostics, in emission order.
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diags
+    }
+
+    /// Complete per-severity tallies (including unmaterialized findings).
+    pub fn counts(&self) -> LintCounts {
+        self.counts
+    }
+
+    /// Total findings for one lint code, materialized or not.
+    pub fn total(&self, code: &str) -> usize {
+        self.tallies
+            .iter()
+            .find(|t| t.lint.code == code)
+            .map_or(0, |t| t.total)
+    }
+
+    /// Whether any finding with this lint code was recorded.
+    pub fn has(&self, code: &str) -> bool {
+        self.total(code) > 0
+    }
+
+    /// True when no error-severity finding was recorded.
+    pub fn is_clean(&self) -> bool {
+        self.counts.is_clean()
+    }
+
+    /// Folds another report's findings into this one (used by the
+    /// TraceCheck front-end to combine file-level and proof-level
+    /// passes).
+    pub fn absorb(&mut self, other: Report) {
+        self.counts.errors += other.counts.errors;
+        self.counts.warnings += other.counts.warnings;
+        self.counts.infos += other.counts.infos;
+        for t in other.tallies {
+            match self
+                .tallies
+                .iter_mut()
+                .find(|mine| mine.lint.code == t.lint.code)
+            {
+                Some(mine) => {
+                    mine.total += t.total;
+                    mine.shown += t.shown;
+                }
+                None => self.tallies.push(t),
+            }
+        }
+        self.diags.extend(other.diags);
+    }
+
+    /// Renders the report as human-readable text: one line per
+    /// materialized diagnostic, per-lint totals for truncated lints,
+    /// and a summary line.
+    ///
+    /// # Errors
+    ///
+    /// Forwards I/O errors from `w`.
+    pub fn write_text(&self, w: &mut impl Write) -> io::Result<()> {
+        for d in &self.diags {
+            match d.location {
+                Some(loc) => writeln!(
+                    w,
+                    "{}[{}] {}: {}",
+                    d.severity.label(),
+                    d.lint.code,
+                    loc,
+                    d.message
+                )?,
+                None => writeln!(w, "{}[{}] {}", d.severity.label(), d.lint.code, d.message)?,
+            }
+        }
+        for t in &self.tallies {
+            if t.total > t.shown {
+                writeln!(
+                    w,
+                    "{}[{}] {}: {} findings total ({} shown)",
+                    t.lint.severity.label(),
+                    t.lint.code,
+                    t.lint.name,
+                    t.total,
+                    t.shown
+                )?;
+            }
+        }
+        writeln!(w, "{}: {}", self.artifact.label(), self.counts)
+    }
+
+    /// Renders the report as a single JSON object (schema documented in
+    /// DESIGN.md).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(256 + self.diags.len() * 96);
+        s.push_str("{\"artifact\":\"");
+        s.push_str(self.artifact.label());
+        s.push_str("\",\"summary\":{\"errors\":");
+        s.push_str(&self.counts.errors.to_string());
+        s.push_str(",\"warnings\":");
+        s.push_str(&self.counts.warnings.to_string());
+        s.push_str(",\"infos\":");
+        s.push_str(&self.counts.infos.to_string());
+        s.push_str("},\"lints\":[");
+        for (i, t) in self.tallies.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str("{\"code\":\"");
+            s.push_str(t.lint.code);
+            s.push_str("\",\"name\":\"");
+            s.push_str(t.lint.name);
+            s.push_str("\",\"total\":");
+            s.push_str(&t.total.to_string());
+            s.push_str(",\"shown\":");
+            s.push_str(&t.shown.to_string());
+            s.push('}');
+        }
+        s.push_str("],\"diagnostics\":[");
+        for (i, d) in self.diags.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str("{\"code\":\"");
+            s.push_str(d.lint.code);
+            s.push_str("\",\"name\":\"");
+            s.push_str(d.lint.name);
+            s.push_str("\",\"severity\":\"");
+            s.push_str(d.severity.label());
+            s.push('"');
+            if let Some(loc) = d.location {
+                s.push_str(",\"location\":");
+                let (kind, index) = match loc {
+                    Location::Step(i) => ("step", i),
+                    Location::Var(i) => ("var", i),
+                    Location::Clause(i) => ("clause", i),
+                    Location::Node(i) => ("node", i),
+                    Location::Line(i) => ("line", i),
+                };
+                s.push_str("{\"kind\":\"");
+                s.push_str(kind);
+                s.push_str("\",\"index\":");
+                s.push_str(&index.to_string());
+                s.push('}');
+            }
+            s.push_str(",\"message\":\"");
+            json_escape_into(&d.message, &mut s);
+            s.push_str("\"}");
+        }
+        s.push_str("]}");
+        s
+    }
+}
+
+/// Escapes `raw` into `out` per the JSON string grammar.
+fn json_escape_into(raw: &str, out: &mut String) {
+    for c in raw.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_codes_are_unique_and_sorted_per_artifact() {
+        for pair in REGISTRY.windows(2) {
+            assert!(
+                pair[0].code < pair[1].code || pair[0].artifact != pair[1].artifact,
+                "{} vs {}",
+                pair[0].code,
+                pair[1].code
+            );
+        }
+        let mut codes: Vec<&str> = REGISTRY.iter().map(|l| l.code).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), REGISTRY.len());
+    }
+
+    #[test]
+    fn find_resolves_codes() {
+        assert_eq!(find("RP101").unwrap().name, "chain-pivot-count");
+        assert!(find("XX999").is_none());
+    }
+
+    #[test]
+    fn report_caps_but_counts_everything() {
+        let mut r = Report::new(Artifact::Proof);
+        for i in 0..10 {
+            r.emit(RP005, Some(Location::Step(i)), 3, || format!("dead {i}"));
+        }
+        assert_eq!(r.diagnostics().len(), 3);
+        assert_eq!(r.total("RP005"), 10);
+        assert_eq!(r.counts().infos, 10);
+        assert!(r.is_clean());
+        let mut buf = Vec::new();
+        r.write_text(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("10 findings total (3 shown)"), "{text}");
+        assert!(text.contains("proof: 0 errors, 0 warnings, 10 infos"));
+    }
+
+    #[test]
+    fn json_is_well_formed_and_escaped() {
+        let mut r = Report::new(Artifact::Cnf);
+        r.emit(CF002, Some(Location::Clause(4)), 20, || {
+            "dup of \"clause\"\n0".into()
+        });
+        let json = r.to_json();
+        assert!(json.contains("\"artifact\":\"cnf\""));
+        assert!(json.contains("\\\"clause\\\"\\n0"));
+        assert!(json.contains("{\"kind\":\"clause\",\"index\":4}"));
+        // Balanced braces/brackets (cheap well-formedness smoke check).
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "{json}"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn absorb_merges_tallies() {
+        let mut a = Report::new(Artifact::Proof);
+        a.emit(RP001, Some(Location::Step(1)), 20, || "fwd".into());
+        let mut b = Report::new(Artifact::Proof);
+        b.emit(RP001, Some(Location::Step(2)), 20, || "fwd2".into());
+        b.emit(RP004, None, 20, || "dup".into());
+        a.absorb(b);
+        assert_eq!(a.total("RP001"), 2);
+        assert_eq!(a.total("RP004"), 1);
+        assert_eq!(a.counts().errors, 2);
+        assert_eq!(a.counts().warnings, 1);
+    }
+}

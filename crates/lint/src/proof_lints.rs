@@ -1,0 +1,591 @@
+//! Structural and chain-analysis lints for resolution proofs.
+//!
+//! The structural pass (`RP0xx`) touches each step's own clause and
+//! antecedent-id list exactly once — it never gathers the *contents* of
+//! antecedent clauses — so it is substantially cheaper than replay and
+//! is what `rplint --fast` runs. The chain pass (`RP1xx`) adds two
+//! per-step analyses over antecedent literals:
+//!
+//! 1. **Pivot-count analysis** (order-insensitive): a chain of `k`
+//!    antecedents performs `k − 1` resolutions, and each resolution on a
+//!    variable `v` consumes at least one positive and one negative
+//!    occurrence of `v`, so `Σ_v min(pos_v, neg_v) ≥ k − 1` is necessary
+//!    ([`RP101`]); and a literal whose variable occurs in only one
+//!    polarity can never be cancelled, so it must appear in the recorded
+//!    clause ([`RP102`]).
+//! 2. **Order replay** (runs only when pivot-count analysis passes): an
+//!    abstract forward pass over the chain that tracks the running
+//!    resolvent as a literal set, diagnosing missing ([`RP105`]) or
+//!    ambiguous ([`RP104`]) pivots, repeated pivot variables
+//!    ([`RP106`]), and leftover literals the recorded clause lacks
+//!    ([`RP103`]).
+
+use crate::{
+    Artifact, LintOptions, Location, Report, Severity, RP001, RP002, RP003, RP004, RP005, RP006,
+    RP007, RP101, RP102, RP103, RP104, RP105, RP106,
+};
+use cnf::Lit;
+use proof::{ClauseId, Proof};
+use std::collections::HashMap;
+
+/// Lints a resolution proof. See the crate docs for the lint taxonomy
+/// and [`LintOptions`] for the structural-only/full switch.
+pub fn lint_proof(p: &Proof, opts: &LintOptions) -> Report {
+    let mut r = Report::new(Artifact::Proof);
+    let cap = opts.max_per_lint;
+    let mut max_var = 0u32;
+
+    // Structural pass: one sweep over each step's own clause and ids.
+    let mut seen: HashMap<&[Lit], ClauseId> = HashMap::new();
+    for (id, step) in p.iter() {
+        for &l in step.clause {
+            max_var = max_var.max(l.var().index());
+        }
+        for &a in step.antecedents {
+            if a.index() >= id.index() {
+                let what = if a == id { "itself" } else { "a later step" };
+                r.emit(RP001, Some(Location::Step(id.index())), cap, || {
+                    format!("antecedent {a} references {what}")
+                });
+            }
+        }
+        if step.clause.windows(2).any(|w| w[0].var() == w[1].var()) {
+            // Tautological *inputs* are junk the encoder should not have
+            // emitted; tautological *derivations* can never replay.
+            let sev = if step.is_original() {
+                Severity::Warn
+            } else {
+                Severity::Error
+            };
+            r.emit_severity(RP003, sev, Some(Location::Step(id.index())), cap, || {
+                let kind = if step.is_original() {
+                    "input"
+                } else {
+                    "derived"
+                };
+                format!("{kind} clause contains a variable in both polarities")
+            });
+        }
+        if !step.is_original() {
+            if let Some(&first) = seen.get(step.clause) {
+                r.emit(RP004, Some(Location::Step(id.index())), cap, || {
+                    format!("derived clause repeats step {first} verbatim")
+                });
+                continue; // keep the first id as the canonical one
+            }
+        }
+        seen.entry(step.clause).or_insert(id);
+    }
+
+    // Refutation cone: dead steps and unused inputs.
+    match p.empty_clause() {
+        None => {
+            if opts.expect_refutation {
+                r.emit(RP002, None, cap, || {
+                    "no empty clause: the proof refutes nothing".into()
+                });
+            }
+        }
+        Some(root) => {
+            let mut live = vec![false; p.len()];
+            live[root.as_usize()] = true;
+            let mut stack = vec![root];
+            while let Some(id) = stack.pop() {
+                for &a in p.step(id).antecedents {
+                    // Forward references were already reported; only
+                    // well-formed backward edges are traversable.
+                    if a.index() < id.index() && !live[a.as_usize()] {
+                        live[a.as_usize()] = true;
+                        stack.push(a);
+                    }
+                }
+            }
+            for (id, step) in p.iter() {
+                if live[id.as_usize()] {
+                    continue;
+                }
+                if step.is_original() {
+                    r.emit(RP006, Some(Location::Step(id.index())), cap, || {
+                        "input clause is never used by the refutation cone".into()
+                    });
+                } else {
+                    r.emit(RP005, Some(Location::Step(id.index())), cap, || {
+                        "derived step lies outside the empty clause's cone".into()
+                    });
+                }
+            }
+        }
+    }
+
+    lint_stitch_boundaries(p, opts, &mut r);
+
+    if opts.chain {
+        lint_chains(p, max_var, opts, &mut r);
+    }
+    r
+}
+
+/// Consistency of the parallel sweep's merge-cone stitch segments.
+///
+/// `boundaries[0]` is the proof length when the parallel sweep began;
+/// each later entry is the length after one round's worker cones were
+/// stitched in. Inside `[boundaries[0], boundaries.last())` every step
+/// must be a *derived* stitch product (the Tseitin originals all precede
+/// the sweep and the miter assertion follows it), and the empty clause —
+/// derived by the final monolithic solve — must not fall inside a
+/// segment.
+fn lint_stitch_boundaries(p: &Proof, opts: &LintOptions, r: &mut Report) {
+    let b = &opts.stitch_boundaries;
+    if b.is_empty() {
+        return;
+    }
+    let cap = opts.max_per_lint;
+    let len = u32::try_from(p.len()).unwrap_or(u32::MAX);
+    for w in b.windows(2) {
+        if w[0] > w[1] {
+            r.emit(RP007, None, cap, || {
+                format!("stitch boundaries decrease: {} then {}", w[0], w[1])
+            });
+            return;
+        }
+    }
+    let last = *b.last().expect("checked non-empty");
+    if last > len {
+        r.emit(RP007, None, cap, || {
+            format!("stitch boundary {last} exceeds proof length {len}")
+        });
+        return;
+    }
+    for idx in b[0]..last {
+        let id = ClauseId::new(idx);
+        if p.step(id).is_original() {
+            r.emit(RP007, Some(Location::Step(idx)), cap, || {
+                "original clause recorded inside a parallel stitch segment".into()
+            });
+        }
+    }
+    if let Some(root) = p.empty_clause() {
+        if root.index() >= b[0] && root.index() < last {
+            r.emit(RP007, Some(Location::Step(root.index())), cap, || {
+                "empty clause derived inside a stitch segment instead of the final solve".into()
+            });
+        }
+    }
+}
+
+/// The chain-analysis pass (`RP1xx`); see the module docs.
+fn lint_chains(p: &Proof, max_var: u32, opts: &LintOptions, r: &mut Report) {
+    let cap = opts.max_per_lint;
+    let nv = max_var as usize + 1;
+    // Occurrence counters for the pivot-count analysis and presence bits
+    // for the order replay, both cleared through touched lists so one
+    // allocation serves every step.
+    let mut count = vec![[0u32; 2]; nv];
+    let mut counted: Vec<u32> = Vec::new();
+    let mut present = vec![0u8; nv]; // bit 0: positive lit, bit 1: negative
+    let mut marked: Vec<u32> = Vec::new();
+    let mut pivot_seen = vec![false; nv];
+    let mut pivots: Vec<u32> = Vec::new();
+
+    'steps: for (id, step) in p.iter() {
+        if step.is_original() {
+            continue;
+        }
+        if step.antecedents.iter().any(|a| a.index() >= id.index()) {
+            continue; // unanalyzable; RP001 already reported it
+        }
+        let recorded = step.clause;
+        let needed = step.antecedents.len() - 1;
+
+        // Pivot-count analysis (order-insensitive).
+        for &a in step.antecedents {
+            for &l in p.clause(a) {
+                let v = l.var().as_usize();
+                let c = &mut count[v];
+                if c[0] == 0 && c[1] == 0 {
+                    counted.push(v as u32);
+                }
+                c[usize::from(l.is_negative())] += 1;
+            }
+        }
+        let mut clash_pairs = 0usize;
+        for &v in &counted {
+            let c = count[v as usize];
+            clash_pairs += c[0].min(c[1]) as usize;
+        }
+        if clash_pairs < needed {
+            r.emit(RP101, Some(Location::Step(id.index())), cap, || {
+                format!(
+                    "chain of {} antecedents needs {needed} resolutions but its clauses \
+                     contain only {clash_pairs} clashing variable pairs",
+                    step.antecedents.len()
+                )
+            });
+            clear_counts(&mut count, &mut counted);
+            continue;
+        }
+        for &v in &counted {
+            let c = count[v as usize];
+            let lone = if c[1] == 0 && c[0] > 0 {
+                Some(cnf::Var::new(v).positive())
+            } else if c[0] == 0 && c[1] > 0 {
+                Some(cnf::Var::new(v).negative())
+            } else {
+                None
+            };
+            if let Some(l) = lone {
+                if recorded.binary_search(&l).is_err() {
+                    r.emit(RP102, Some(Location::Step(id.index())), cap, || {
+                        format!(
+                            "literal {} occurs in one polarity only (unresolvable) \
+                             yet is missing from the recorded clause",
+                            dimacs(l)
+                        )
+                    });
+                    clear_counts(&mut count, &mut counted);
+                    continue 'steps;
+                }
+            }
+        }
+        clear_counts(&mut count, &mut counted);
+
+        // Order replay over the running resolvent as a literal set.
+        for &l in p.clause(step.antecedents[0]) {
+            mark(&mut present, &mut marked, l);
+        }
+        let mut replay_ok = true;
+        for (position, &a) in step.antecedents.iter().enumerate().skip(1) {
+            let clause = p.clause(a);
+            let mut pivot: Option<Lit> = None;
+            let mut ambiguous = false;
+            for &l in clause {
+                let v = l.var().as_usize();
+                let opposite = 1u8 << usize::from(!l.is_negative());
+                if present[v] & opposite != 0 {
+                    if pivot.is_some() {
+                        ambiguous = true;
+                    } else {
+                        pivot = Some(l);
+                    }
+                }
+            }
+            let Some(pl) = pivot else {
+                r.emit(RP105, Some(Location::Step(id.index())), cap, || {
+                    format!("antecedent {a} (chain position {position}) shares no clashing variable with the running resolvent")
+                });
+                replay_ok = false;
+                break;
+            };
+            if ambiguous {
+                r.emit(RP104, Some(Location::Step(id.index())), cap, || {
+                    format!("antecedent {a} (chain position {position}) clashes with the running resolvent on more than one variable")
+                });
+                replay_ok = false;
+                break;
+            }
+            let v = pl.var().as_usize();
+            if pivot_seen[v] {
+                r.emit(RP106, Some(Location::Step(id.index())), cap, || {
+                    format!(
+                        "irregular chain: pivot variable {} is resolved more than once",
+                        pl.var().index() + 1
+                    )
+                });
+            } else {
+                pivot_seen[v] = true;
+                pivots.push(v as u32);
+            }
+            present[v] &= !(1u8 << usize::from(!pl.is_negative()));
+            for &l in clause {
+                if l != pl {
+                    mark(&mut present, &mut marked, l);
+                }
+            }
+        }
+        if replay_ok {
+            'leftover: for &v in &marked {
+                let bits = present[v as usize];
+                for negated in [false, true] {
+                    if bits & (1u8 << usize::from(negated)) != 0 {
+                        let l = cnf::Var::new(v).lit(negated);
+                        if recorded.binary_search(&l).is_err() {
+                            r.emit(RP103, Some(Location::Step(id.index())), cap, || {
+                                format!(
+                                    "replaying the chain in recorded order leaves literal {} \
+                                     which the recorded clause lacks",
+                                    dimacs(l)
+                                )
+                            });
+                            break 'leftover;
+                        }
+                    }
+                }
+            }
+        }
+        for &v in &marked {
+            present[v as usize] = 0;
+        }
+        marked.clear();
+        for &v in &pivots {
+            pivot_seen[v as usize] = false;
+        }
+        pivots.clear();
+    }
+}
+
+fn clear_counts(count: &mut [[u32; 2]], counted: &mut Vec<u32>) {
+    for &v in counted.iter() {
+        count[v as usize] = [0, 0];
+    }
+    counted.clear();
+}
+
+fn mark(present: &mut [u8], marked: &mut Vec<u32>, l: Lit) {
+    let v = l.var().as_usize();
+    if present[v] == 0 {
+        marked.push(v as u32);
+    }
+    present[v] |= 1u8 << usize::from(l.is_negative());
+}
+
+fn dimacs(l: Lit) -> i32 {
+    l.to_dimacs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnf::Var;
+
+    fn x(i: u32) -> Var {
+        Var::new(i)
+    }
+
+    /// A minimal valid refutation of `(x∨y)(¬x∨y)(x∨¬y)(¬x∨¬y)`.
+    fn refutation() -> Proof {
+        let mut p = Proof::new();
+        let c1 = p.add_original([x(0).positive(), x(1).positive()]);
+        let c2 = p.add_original([x(0).negative(), x(1).positive()]);
+        let c3 = p.add_original([x(0).positive(), x(1).negative()]);
+        let c4 = p.add_original([x(0).negative(), x(1).negative()]);
+        let py = p.add_derived([x(1).positive()], [c1, c2]);
+        let ny = p.add_derived([x(1).negative()], [c3, c4]);
+        p.add_derived([], [py, ny]);
+        p
+    }
+
+    #[test]
+    fn valid_refutation_is_clean() {
+        let r = lint_proof(
+            &refutation(),
+            &LintOptions {
+                expect_refutation: true,
+                ..LintOptions::default()
+            },
+        );
+        assert!(r.is_clean(), "{:?}", r.diagnostics());
+        assert_eq!(r.counts().warnings, 0);
+        assert_eq!(r.counts().infos, 0);
+    }
+
+    #[test]
+    fn dead_steps_and_unused_inputs_are_info() {
+        let mut p = refutation();
+        p.add_original([x(5).positive()]); // never used
+        let a = p.add_original([x(6).positive(), x(7).positive()]);
+        let b = p.add_original([x(6).negative(), x(7).positive()]);
+        p.add_derived([x(7).positive()], [a, b]); // dead derivation
+        let r = lint_proof(&p, &LintOptions::default());
+        assert!(r.is_clean());
+        assert_eq!(r.total("RP005"), 1);
+        assert_eq!(r.total("RP006"), 3);
+    }
+
+    #[test]
+    fn missing_refutation_only_flagged_on_request() {
+        let mut p = Proof::new();
+        p.add_original([x(0).positive()]);
+        assert!(lint_proof(&p, &LintOptions::default()).is_clean());
+        let r = lint_proof(
+            &p,
+            &LintOptions {
+                expect_refutation: true,
+                ..LintOptions::default()
+            },
+        );
+        assert!(r.has("RP002"));
+        assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn duplicate_derivation_warns() {
+        let mut p = Proof::new();
+        let a = p.add_original([x(0).positive(), x(1).positive()]);
+        let b = p.add_original([x(0).negative(), x(1).positive()]);
+        p.add_derived([x(1).positive()], [a, b]);
+        p.add_derived([x(1).positive()], [a, b]);
+        let r = lint_proof(&p, &LintOptions::default());
+        assert_eq!(r.total("RP004"), 1);
+        assert!(r.is_clean()); // duplicates are waste, not defects
+    }
+
+    #[test]
+    fn tautological_input_warns_but_derived_errors() {
+        let mut p = Proof::new();
+        let t = p.add_original([x(0).positive(), x(0).negative()]);
+        let r = lint_proof(&p, &LintOptions::default());
+        assert_eq!(r.total("RP003"), 1);
+        assert!(r.is_clean());
+
+        let mut p2 = Proof::new();
+        let a = p2.add_original([x(0).positive(), x(1).positive()]);
+        let _ = t;
+        // A derived step whose *recorded clause* is tautological.
+        let b = p2.add_original([x(0).negative(), x(1).negative()]);
+        p2.add_derived([x(1).positive(), x(1).negative()], [a, b]);
+        let r2 = lint_proof(&p2, &LintOptions::structural());
+        assert_eq!(r2.total("RP003"), 1);
+        assert!(!r2.is_clean());
+    }
+
+    #[test]
+    fn dropped_antecedent_fails_pivot_count() {
+        // x0, (¬x0∨x1), (¬x1∨x2), (¬x2∨x3) ⊢ x3 with the middle link
+        // dropped: only k−2 clashing pairs remain for k−1 resolutions.
+        let mut p = Proof::new();
+        let u = p.add_original([x(0).positive()]);
+        let l0 = p.add_original([x(0).negative(), x(1).positive()]);
+        let _l1 = p.add_original([x(1).negative(), x(2).positive()]);
+        let l2 = p.add_original([x(2).negative(), x(3).positive()]);
+        p.add_derived([x(3).positive()], [u, l0, l2]);
+        let r = lint_proof(&p, &LintOptions::default());
+        assert!(r.has("RP101"), "{:?}", r.diagnostics());
+        assert!(!r.has("RP103"));
+        assert!(!r.has("RP104"));
+    }
+
+    #[test]
+    fn swapped_chain_fails_order_replay() {
+        let mut p = Proof::new();
+        let a0 = p.add_original([x(0).positive(), x(1).positive()]);
+        let l1 = p.add_original([x(0).negative(), x(1).positive()]);
+        let l2 = p.add_original([x(1).negative(), x(2).positive()]);
+        p.add_derived([x(2).positive()], [a0, l2, l1]);
+        let r = lint_proof(&p, &LintOptions::default());
+        assert!(r.has("RP103"), "{:?}", r.diagnostics());
+        assert!(!r.has("RP101"));
+        assert!(!r.has("RP104"));
+    }
+
+    #[test]
+    fn flipped_literal_is_an_ambiguous_pivot() {
+        let mut p = Proof::new();
+        let a0 = p.add_original([x(0).positive(), x(1).positive()]);
+        let l1 = p.add_original([x(0).negative(), x(1).negative()]);
+        p.add_derived([x(1).positive()], [a0, l1]);
+        let r = lint_proof(&p, &LintOptions::default());
+        assert!(r.has("RP104"), "{:?}", r.diagnostics());
+        assert!(!r.has("RP101"));
+        assert!(!r.has("RP103"));
+    }
+
+    #[test]
+    fn merging_chains_replay_cleanly() {
+        // (a∨b) + (a∨¬b) → (a), then + (¬a) → (): occurrence counts are
+        // asymmetric (a appears twice positively) but merging makes the
+        // chain valid — the lint must not false-positive.
+        let mut p = Proof::new();
+        let c0 = p.add_original([x(0).positive(), x(1).positive()]);
+        let c1 = p.add_original([x(0).positive(), x(1).negative()]);
+        let c2 = p.add_original([x(0).negative()]);
+        p.add_derived([], [c0, c1, c2]);
+        let r = lint_proof(
+            &p,
+            &LintOptions {
+                expect_refutation: true,
+                ..LintOptions::default()
+            },
+        );
+        assert!(r.is_clean(), "{:?}", r.diagnostics());
+    }
+
+    #[test]
+    fn weakening_steps_are_clean_but_bad_weakening_is_not() {
+        let mut p = Proof::new();
+        let a = p.add_original([x(0).positive()]);
+        p.add_derived([x(0).positive(), x(1).positive()], [a]);
+        assert!(lint_proof(&p, &LintOptions::default()).is_clean());
+
+        // "Weakening" that loses the antecedent's literal is invalid.
+        let mut q = Proof::new();
+        let a = q.add_original([x(0).positive(), x(2).positive()]);
+        q.add_derived([x(1).positive()], [a]);
+        let r = lint_proof(&q, &LintOptions::default());
+        assert!(r.has("RP102"), "{:?}", r.diagnostics());
+    }
+
+    #[test]
+    fn irregular_chain_repeating_a_pivot_warns() {
+        // Resolve on x0, reintroduce it, resolve on x0 again: valid but
+        // irregular.
+        let mut p = Proof::new();
+        let c0 = p.add_original([x(0).positive(), x(1).positive()]);
+        let c1 = p.add_original([x(0).negative(), x(2).positive()]);
+        let c2 = p.add_original([x(2).negative(), x(0).positive()]);
+        let c3 = p.add_original([x(0).negative(), x(3).positive()]);
+        p.add_derived([x(1).positive(), x(3).positive()], [c0, c1, c2, c3]);
+        let r = lint_proof(&p, &LintOptions::default());
+        assert!(r.has("RP106"), "{:?}", r.diagnostics());
+        assert!(r.is_clean()); // a warning, not an error
+    }
+
+    #[test]
+    fn structural_pass_skips_chain_lints() {
+        let mut p = Proof::new();
+        let a0 = p.add_original([x(0).positive(), x(1).positive()]);
+        let l1 = p.add_original([x(0).negative(), x(1).negative()]);
+        p.add_derived([x(1).positive()], [a0, l1]);
+        let r = lint_proof(&p, &LintOptions::structural());
+        assert!(!r.has("RP104"));
+        assert!(r.is_clean());
+    }
+
+    #[test]
+    fn stitch_boundary_violations_are_flagged() {
+        let p = refutation();
+        // Boundaries claiming the two derived steps (4, 5) plus the
+        // *original* step 3 were stitched: step 3 violates the segment.
+        let opts = LintOptions {
+            stitch_boundaries: vec![3, 6],
+            ..LintOptions::default()
+        };
+        let r = lint_proof(&p, &opts);
+        assert!(r.has("RP007"), "{:?}", r.diagnostics());
+
+        // A segment covering only derived sweep steps is consistent.
+        let opts = LintOptions {
+            stitch_boundaries: vec![4, 6],
+            ..LintOptions::default()
+        };
+        assert!(lint_proof(&p, &opts).is_clean());
+
+        // Decreasing or out-of-range boundaries are themselves defects.
+        for bad in [vec![5, 4], vec![4, 99]] {
+            let opts = LintOptions {
+                stitch_boundaries: bad,
+                ..LintOptions::default()
+            };
+            assert!(lint_proof(&p, &opts).has("RP007"));
+        }
+    }
+
+    #[test]
+    fn empty_clause_inside_segment_is_flagged() {
+        let p = refutation(); // empty clause is step 6
+        let opts = LintOptions {
+            stitch_boundaries: vec![4, 7],
+            ..LintOptions::default()
+        };
+        assert!(lint_proof(&p, &opts).has("RP007"));
+    }
+}

@@ -1,0 +1,223 @@
+//! Lenient TraceCheck front-end.
+//!
+//! [`proof::import::read_tracecheck`] is strict: the first grammar or
+//! reference violation aborts the whole read, which is the right call
+//! for a checker but useless for triage — the defects the importer
+//! rejects (forward references, id gaps) are exactly the ones a lint
+//! pass should *report*. This scanner mirrors the importer's grammar but
+//! turns every violation into a diagnostic ([`RP008`] for grammar,
+//! [`RP009`] for id order, [`RP001`] for bad references) and keeps
+//! going. When the file level is clean, the steps are loaded into a
+//! [`proof::Proof`] and the full [`crate::lint_proof`] pass runs on top.
+
+use crate::{Artifact, LintOptions, Location, Report, RP001, RP008, RP009};
+use cnf::Lit;
+use proof::{ClauseId, Proof};
+use std::io::{self, BufRead};
+use std::num::NonZeroI32;
+
+/// Lints a TraceCheck file. File-level defects become diagnostics; if
+/// there are none, the parsed proof additionally goes through
+/// [`crate::lint_proof`] with the same options.
+///
+/// # Errors
+///
+/// Forwards I/O errors from `r`; *format* problems never error, they
+/// are reported in the returned [`Report`].
+pub fn lint_tracecheck<R: BufRead>(r: R, opts: &LintOptions) -> io::Result<Report> {
+    let mut report = Report::new(Artifact::Proof);
+    let cap = opts.max_per_lint;
+    let mut steps: Vec<(Vec<Lit>, Vec<ClauseId>)> = Vec::new();
+    let mut expected: u64 = 1;
+    let mut file_ok = true;
+
+    for (line_no, line) in r.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        let here = Some(Location::Line(line_no as u32 + 1));
+        let mut tokens = line.split_whitespace();
+        let Some(id_tok) = tokens.next() else {
+            continue;
+        };
+        let id: u64 = match id_tok.parse() {
+            Ok(id) if id >= 1 => id,
+            _ => {
+                report.emit(RP008, here, cap, || format!("bad step id `{id_tok}`"));
+                file_ok = false;
+                continue;
+            }
+        };
+        if id != expected {
+            report.emit(RP009, here, cap, || {
+                format!("expected step id {expected}, found {id}")
+            });
+            file_ok = false;
+        }
+        // Count the step under its *declared* id so later antecedent
+        // references still resolve the way the author intended.
+        expected = id + 1;
+
+        let mut lits: Vec<Lit> = Vec::new();
+        let mut ants: Vec<ClauseId> = Vec::new();
+        let mut bad_line = false;
+        let mut saw_zero = false;
+        for tok in tokens.by_ref() {
+            match tok.parse::<i32>().ok().map(NonZeroI32::new) {
+                Some(None) => {
+                    saw_zero = true;
+                    break;
+                }
+                Some(Some(nz)) => lits.push(Lit::from_dimacs(nz)),
+                None => {
+                    report.emit(RP008, here, cap, || format!("bad literal `{tok}`"));
+                    bad_line = true;
+                    break;
+                }
+            }
+        }
+        if !bad_line && !saw_zero {
+            report.emit(RP008, here, cap, || "clause not terminated by 0".into());
+            bad_line = true;
+        }
+        if !bad_line {
+            saw_zero = false;
+            for tok in tokens.by_ref() {
+                let v: i64 = match tok.parse() {
+                    Ok(v) => v,
+                    Err(_) => {
+                        report.emit(RP008, here, cap, || format!("bad antecedent `{tok}`"));
+                        bad_line = true;
+                        break;
+                    }
+                };
+                if v == 0 {
+                    saw_zero = true;
+                    break;
+                }
+                if v < 1 || v as u64 >= id {
+                    let what = if v as u64 == id {
+                        "itself"
+                    } else if v >= 1 {
+                        "a later step"
+                    } else {
+                        "a nonexistent step"
+                    };
+                    report.emit(RP001, here, cap, || {
+                        format!("step {id} cites {what} (antecedent {v})")
+                    });
+                    file_ok = false;
+                } else {
+                    ants.push(ClauseId::new((v - 1) as u32));
+                }
+            }
+            if !bad_line && !saw_zero {
+                report.emit(RP008, here, cap, || {
+                    "antecedent list not terminated by 0".into()
+                });
+                bad_line = true;
+            }
+            if !bad_line && tokens.next().is_some() {
+                report.emit(RP008, here, cap, || {
+                    "trailing tokens after antecedent terminator".into()
+                });
+                bad_line = true;
+            }
+        }
+        if bad_line {
+            file_ok = false;
+        } else {
+            steps.push((lits, ants));
+        }
+    }
+
+    if file_ok {
+        let mut p = Proof::new();
+        for (lits, ants) in steps {
+            if ants.is_empty() {
+                p.add_original(lits);
+            } else {
+                p.add_derived(lits, ants);
+            }
+        }
+        report.absorb(crate::lint_proof(&p, opts));
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint(text: &str) -> Report {
+        lint_tracecheck(text.as_bytes(), &LintOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn clean_refutation_passes_both_levels() {
+        let r = lint("1 1 0 0\n2 -1 0 0\n3 0 1 2 0\n");
+        assert!(r.is_clean(), "{:?}", r.diagnostics());
+    }
+
+    #[test]
+    fn forward_and_self_references_are_rp001() {
+        let r = lint("1 1 0 0\n2 2 0 0\n3 1 0 5 2 0\n");
+        assert!(r.has("RP001"), "{:?}", r.diagnostics());
+        assert!(!r.has("RP008"));
+        let r = lint("1 1 0 0\n2 -1 0 2 0\n");
+        assert!(r.has("RP001"));
+    }
+
+    #[test]
+    fn id_gaps_are_rp009_not_fatal() {
+        let r = lint("1 1 0 0\n3 -1 0 0\n");
+        assert!(r.has("RP009"));
+        assert_eq!(r.counts().errors, 1, "{:?}", r.diagnostics());
+    }
+
+    #[test]
+    fn grammar_violations_are_rp008() {
+        assert!(lint("1 1 0\n").has("RP008"));
+        assert!(lint("1 1\n").has("RP008"));
+        assert!(lint("1 1 0 0 7\n").has("RP008"));
+        assert!(lint("x 1 0 0\n").has("RP008"));
+        assert!(lint("1 zap 0 0\n").has("RP008"));
+        assert!(lint("1 1 0 zap 0\n").has("RP008"));
+    }
+
+    #[test]
+    fn proof_level_lints_run_when_file_is_clean() {
+        // Valid grammar, but the chain (1∨2) + (¬1∨¬2) ⊢ (2) has two
+        // clashing pivots.
+        let r = lint("1 1 2 0 0\n2 -1 -2 0 0\n3 2 0 1 2 0\n");
+        assert!(r.has("RP104"), "{:?}", r.diagnostics());
+    }
+
+    #[test]
+    fn proof_level_lints_skipped_when_file_is_broken() {
+        // The forward reference would make in-memory proof construction
+        // unsound, so only file-level diagnostics appear.
+        let r = lint("1 1 0 0\n2 -1 0 3 0\n3 0 1 2 0\n");
+        assert!(r.has("RP001"));
+        assert!(!r.has("RP005"));
+    }
+
+    #[test]
+    fn io_errors_propagate() {
+        struct Broken;
+        impl io::Read for Broken {
+            fn read(&mut self, _: &mut [u8]) -> io::Result<usize> {
+                Err(io::Error::other("boom"))
+            }
+        }
+        impl BufRead for Broken {
+            fn fill_buf(&mut self) -> io::Result<&[u8]> {
+                Err(io::Error::other("boom"))
+            }
+            fn consume(&mut self, _: usize) {}
+        }
+        assert!(lint_tracecheck(Broken, &LintOptions::default()).is_err());
+    }
+}

@@ -17,6 +17,11 @@
 //! consequence of the earlier clauses, so `check_rup` — which ignores
 //! recorded antecedents by design — still accepts; the tests pin that
 //! down explicitly rather than let it pass silently.
+//!
+//! The `lint_codes` module at the bottom maps the same five classes to
+//! the static-analysis layer: each corruption must surface as a
+//! *distinct* `rplint` code (RP101 / RP103 / RP104 / RP001 / RP002), so
+//! the linter localizes the defect class, not just the fact of failure.
 
 use cnf::Var;
 use proof::check::{self, CheckError};
@@ -203,4 +208,129 @@ fn forward_reference_rejected_by_checkers() {
     };
     assert_eq!(check::check_strict(&p), Err(expected.clone()));
     assert_eq!(check::check_rup(&p), Err(expected));
+}
+
+/// The same five corruption classes, seen through the static-analysis
+/// layer: each must map to a distinct `rplint` code, and the lint pass
+/// must stay clean on the uncorrupted originals.
+mod lint_codes {
+    use cnf::Var;
+    use lint::LintOptions;
+    use proof::Proof;
+
+    fn opts() -> LintOptions {
+        LintOptions {
+            expect_refutation: true,
+            ..LintOptions::default()
+        }
+    }
+
+    /// Class 1 — a dropped antecedent leaves too few clashing pivot
+    /// pairs for the chain length: RP101, and only RP101, fires among
+    /// the chain lints (the order-replay lints never run on a step
+    /// whose pivot census already failed).
+    #[test]
+    fn drop_antecedent_maps_to_rp101() {
+        let x = |i: u32| Var::new(i);
+        let mut p = Proof::new();
+        let c0 = p.add_original([x(0).positive()]);
+        let c1 = p.add_original([x(0).negative(), x(1).positive()]);
+        let _c2 = p.add_original([x(1).negative(), x(2).positive()]);
+        let c3 = p.add_original([x(2).negative(), x(3).positive()]);
+        // Chain drops c2: three antecedents need two clashes, but only
+        // x0 clashes between c0/c1 — x1 and x2 each appear one-sided.
+        p.add_derived([x(3).positive()], [c0, c1, c3]);
+        let report = lint::lint_proof(&p, &LintOptions::default());
+        assert!(report.has("RP101"), "{report:?}");
+        assert!(!report.has("RP103") && !report.has("RP104"), "{report:?}");
+        assert!(report.counts().errors > 0);
+    }
+
+    /// Class 2 — swapping the chain order keeps the pivot census
+    /// feasible but breaks the left-to-right replay: the resolvent
+    /// retains a literal the recorded clause lacks (RP103).
+    #[test]
+    fn swap_chain_order_maps_to_rp103() {
+        let x = |i: u32| Var::new(i);
+        let mut p = Proof::new();
+        let a0 = p.add_original([x(0).positive(), x(1).positive()]);
+        let l1 = p.add_original([x(0).negative(), x(1).positive()]);
+        let l2 = p.add_original([x(1).negative(), x(2).positive()]);
+        p.add_derived([x(2).positive()], [a0, l2, l1]);
+        let report = lint::lint_proof(&p, &LintOptions::default());
+        assert!(report.has("RP103"), "{report:?}");
+        assert!(!report.has("RP101") && !report.has("RP104"), "{report:?}");
+        assert!(report.counts().errors > 0);
+    }
+
+    /// Class 3 — flipping a literal makes two variables clash between
+    /// the first two chain clauses, so the replay cannot pick a unique
+    /// pivot: RP104.
+    #[test]
+    fn flip_literal_maps_to_rp104() {
+        let x = |i: u32| Var::new(i);
+        let mut p = Proof::new();
+        let a0 = p.add_original([x(0).positive(), x(1).positive()]);
+        let l1 = p.add_original([x(0).negative(), x(1).negative()]);
+        p.add_derived([x(1).positive()], [a0, l1]);
+        let report = lint::lint_proof(&p, &LintOptions::default());
+        assert!(report.has("RP104"), "{report:?}");
+        assert!(!report.has("RP101") && !report.has("RP103"), "{report:?}");
+        assert!(report.counts().errors > 0);
+    }
+
+    /// Class 4 — the strict importer refuses forward references
+    /// outright; the lenient TraceCheck front-end instead *reports* the
+    /// defect as RP001 and keeps scanning.
+    #[test]
+    fn forward_reference_maps_to_rp001() {
+        let text = "1 1 0 0\n2 2 0 0\n3 1 0 4 2 0\n";
+        let report = lint::lint_tracecheck(text.as_bytes(), &opts()).unwrap();
+        assert!(report.has("RP001"), "{report:?}");
+        assert!(report.counts().errors > 0);
+    }
+
+    /// Class 5 — deleting the empty clause from a refutation leaves
+    /// every chain replaying cleanly; only the refutation claim itself
+    /// is void (RP002, reported only when a refutation was expected).
+    #[test]
+    fn delete_empty_clause_maps_to_rp002() {
+        let x = Var::new(0);
+        let y = Var::new(1);
+        let mut p = Proof::new();
+        let c1 = p.add_original([x.positive(), y.positive()]);
+        let c2 = p.add_original([x.negative(), y.positive()]);
+        let c3 = p.add_original([x.positive(), y.negative()]);
+        let c4 = p.add_original([x.negative(), y.negative()]);
+        p.add_derived([y.positive()], [c1, c2]);
+        p.add_derived([y.negative()], [c3, c4]);
+        // Without the final resolution to the empty clause the chains
+        // all replay, but the refutation claim is gone.
+        let report = lint::lint_proof(&p, &opts());
+        assert!(report.has("RP002"), "{report:?}");
+        assert!(report.counts().errors > 0);
+        // The same proof lints clean when no refutation was promised
+        // (dead final steps are informational, not errors).
+        let relaxed = lint::lint_proof(&p, &LintOptions::default());
+        assert!(relaxed.is_clean(), "{relaxed:?}");
+    }
+
+    /// Control — the uncorrupted refutation is clean under the
+    /// strictest options, so the five positives above are not noise.
+    #[test]
+    fn valid_refutation_is_clean() {
+        let x = Var::new(0);
+        let y = Var::new(1);
+        let mut p = Proof::new();
+        let c1 = p.add_original([x.positive(), y.positive()]);
+        let c2 = p.add_original([x.negative(), y.positive()]);
+        let c3 = p.add_original([x.positive(), y.negative()]);
+        let c4 = p.add_original([x.negative(), y.negative()]);
+        let py = p.add_derived([y.positive()], [c1, c2]);
+        let ny = p.add_derived([y.negative()], [c3, c4]);
+        p.add_derived([], [py, ny]);
+        let report = lint::lint_proof(&p, &opts());
+        assert!(report.is_clean(), "{report:?}");
+        assert_eq!(report.counts().errors, 0);
+    }
 }

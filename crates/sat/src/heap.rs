@@ -134,7 +134,7 @@ mod tests {
             h.insert(Var::new(i), &activity);
         }
         let order: Vec<u32> = std::iter::from_fn(|| h.pop(&activity))
-            .map(|v| v.index())
+            .map(Var::index)
             .collect();
         assert_eq!(order, vec![2, 0, 3, 1]);
     }

@@ -444,7 +444,7 @@ impl Solver {
         self.proof
             .as_mut()
             .expect("merging derivations requires proof logging")
-            .merge_cone(other, roots, map)
+            .merge_cone(other, roots, map);
     }
 
     /// Core clause insertion at decision level 0 (watch setup, unit

@@ -73,7 +73,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     proof::check::check_refutation(cert.proof.as_ref().expect("proof"))?;
     println!(
         "sign-off:       optimization PROVEN equivalence-preserving ({} resolutions, checked)",
-        cert.stats.proof.map(|s| s.resolutions).unwrap_or(0)
+        cert.stats.proof.map_or(0, |s| s.resolutions)
     );
     Ok(())
 }

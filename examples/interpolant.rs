@@ -109,7 +109,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
     let verdict = check.solve();
-    println!("I ∧ B is {:?} (expected Unsat)", verdict);
+    println!("I ∧ B is {verdict:?} (expected Unsat)");
     assert_eq!(verdict, SolveResult::Unsat);
 
     proof::check::check_refutation(p)?;

@@ -39,15 +39,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     let outcome = Prover::new(options).prove(&golden, &synthesized)?;
 
-    let cert = match outcome.certificate() {
-        Some(c) => c,
-        None => {
-            let cex = outcome.counterexample().expect("inequivalent");
-            eprintln!("SYNTHESIS BUG on input {:?}", cex.pattern);
-            eprintln!("  golden outputs:      {:?}", cex.outputs_a);
-            eprintln!("  synthesized outputs: {:?}", cex.outputs_b);
-            std::process::exit(1);
-        }
+    let Some(cert) = outcome.certificate() else {
+        let cex = outcome.counterexample().expect("inequivalent");
+        eprintln!("SYNTHESIS BUG on input {:?}", cex.pattern);
+        eprintln!("  golden outputs:      {:?}", cex.outputs_a);
+        eprintln!("  synthesized outputs: {:?}", cex.outputs_b);
+        std::process::exit(1);
     };
 
     let stats = &cert.stats;

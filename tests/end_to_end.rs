@@ -3,9 +3,10 @@
 //! → trimming → interpolation.
 
 use resolution_cec::aig::gen;
-use resolution_cec::aig::Aig;
+use resolution_cec::aig::{sim, Aig};
 use resolution_cec::cec::monolithic::{prove_monolithic, MonolithicOptions};
 use resolution_cec::cec::{CecOptions, Prover};
+use resolution_cec::cnf::tseitin;
 use resolution_cec::proof;
 
 /// Every equivalent pair in the benchmark family zoo, at small sizes.
@@ -175,7 +176,7 @@ fn mutants_are_caught_by_both_engines() {
             continue;
         };
         // Ground truth by exhaustive evaluation (8 inputs).
-        let truly_equal = resolution_cec::aig::sim::exhaustive_diff(&golden, &mutant, 8).is_none();
+        let truly_equal = sim::exhaustive_diff(&golden, &mutant, 8).is_none();
         tried += 1;
         let sweep = Prover::new(verified_options())
             .prove(&golden, &mutant)
@@ -379,7 +380,7 @@ fn sweep_proof_interpolants_are_valid() {
         }
     }
     // Encode the interpolant over fresh variables tied to the miter vars.
-    let enc = resolution_cec::cnf::tseitin::encode_from(&itp.graph, miter.graph.len() as u32);
+    let enc = tseitin::encode_from(&itp.graph, miter.graph.len() as u32);
     check.ensure_vars(enc.cnf.num_vars());
     for clause in enc.cnf.clauses() {
         check.add_clause(clause);
