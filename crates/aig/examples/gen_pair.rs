@@ -1,0 +1,28 @@
+//! Writes an equivalent adder pair (ripple-carry vs Kogge–Stone) as
+//! ASCII AIGER files — used by CI to build a certification corpus.
+//!
+//! ```text
+//! cargo run -p aig --example gen_pair -- WIDTH A.aag B.aag
+//! ```
+
+use aig::{aiger, gen, Aig};
+use std::fs::File;
+use std::io::{BufWriter, Write};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let usage = "usage: gen_pair WIDTH A.aag B.aag";
+    let width: usize = args.next().expect(usage).parse().expect(usage);
+    let a_path = args.next().expect(usage);
+    let b_path = args.next().expect(usage);
+    write(&gen::ripple_carry_adder(width), &a_path);
+    write(&gen::kogge_stone_adder(width), &b_path);
+}
+
+fn write(g: &Aig, path: &str) {
+    let f = File::create(path).unwrap_or_else(|e| panic!("{path}: {e}"));
+    let mut w = BufWriter::new(f);
+    aiger::write_ascii(g, &mut w)
+        .and_then(|()| w.flush())
+        .unwrap_or_else(|e| panic!("{path}: {e}"));
+}

@@ -1,0 +1,61 @@
+//! Criterion bench behind table T8: cross-artifact bundle analysis
+//! versus full proof replay on the 64-bit adder zoo entry.
+//!
+//! The bundle lint re-derives the miter's Tseitin CNF once per
+//! iteration and statically binds AIG↔CNF↔proof↔certificate — no unit
+//! propagation, no resolution replay — so it should land well under
+//! `check_refutation`'s replay cost even though it hashes every input
+//! clause. The measured ratio is documented in DESIGN.md next to the
+//! structural-lint 5× gate from the T-lint experiment.
+
+use bench::experiments::sweep_prove;
+use bench::workloads;
+use cec::Miter;
+use criterion::{criterion_group, criterion_main, Criterion};
+use lint::{Bundle, LintOptions};
+
+fn bench_t8(c: &mut Criterion) {
+    let pair = workloads::adder_scaling_pairs(&[64]).remove(0);
+    let outcome = sweep_prove(&pair);
+    let cert = outcome.certificate().expect("equivalent");
+    let p = cert.proof.as_ref().expect("proof recorded").clone();
+    let info = cert.info();
+
+    let miter = Miter::build(&pair.a, &pair.b, true);
+    let formula = cec::miter_cnf(&miter);
+    let opts = LintOptions::default();
+    let bundle = Bundle {
+        aig: Some(&miter.graph),
+        cnf: Some(&formula),
+        proof: Some(&p),
+        certificate: Some(&info),
+    };
+    let report = lint::lint_bundle(&bundle, &opts);
+    assert_eq!(report.counts().errors, 0, "{:?}", report.diagnostics());
+
+    let mut group = c.benchmark_group("t8");
+    group.bench_function("lint_bundle/add-64", |b| {
+        b.iter(|| lint::lint_bundle(&bundle, &opts));
+    });
+    group.bench_function("lint_bundle_with_encode/add-64", |b| {
+        // Includes re-deriving the miter CNF, as `rcec --lint-bundle`
+        // and `rplint <aig> <proof>` must.
+        b.iter(|| {
+            let f = cec::miter_cnf(&miter);
+            lint::lint_bundle(
+                &Bundle {
+                    cnf: Some(&f),
+                    ..bundle
+                },
+                &opts,
+            )
+        });
+    });
+    group.bench_function("check_refutation/add-64", |b| {
+        b.iter(|| proof::check::check_refutation(&p).expect("checks"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_t8);
+criterion_main!(benches);

@@ -3,7 +3,9 @@
 //! ```text
 //! rcec A.aag B.aag [--monolithic] [--bdd] [--no-struct] [--no-share]
 //!      [--no-sweep] [--limit=N] [--threads=N] [--pairs-per-worker=N]
-//!      [--proof=FILE] [--trim] [--lint-proof] [--check] [--quiet]
+//!      [--proof=FILE] [--trim] [--lint-proof] [--lint-bundle]
+//!      [--emit-miter=FILE] [--emit-cnf=FILE] [--emit-cert=FILE]
+//!      [--check] [--quiet]
 //! ```
 //!
 //! `--threads=N` shards the sweeping phase over `N` worker threads with
@@ -15,7 +17,17 @@
 //! `--lint-proof` runs the static-analysis lint pass over the recorded
 //! proof (including the parallel mode's stitch-boundary consistency
 //! check) and prints its report — far cheaper than `--check`'s full
-//! replay. Lint *errors* fail the run with exit 2.
+//! replay. Lint *errors* fail the run with exit 2. `--lint-bundle`
+//! extends the pass across artifacts: the engine re-derives its own
+//! miter CNF and statically checks AIG↔CNF↔proof↔certificate binding
+//! (the `XB` lint family).
+//!
+//! `--emit-miter`/`--emit-cnf`/`--emit-cert` export the miter graph
+//! (ASCII AIGER), its Tseitin CNF (DIMACS), and the certificate
+//! metadata, so a third party can re-run the same bundle analysis with
+//! `rplint miter.aag miter.cnf proof.tc cert.cert`. With `--trim` the
+//! emitted certificate describes the trimmed proof (stitch boundaries,
+//! which index the untrimmed stitching layout, are omitted).
 //!
 //! `--bdd` uses the canonical-form ROBDD baseline: fastest on small
 //! structured circuits, but produces no proof and may answer UNDECIDED
@@ -57,6 +69,10 @@ fn run() -> Result<i32, String> {
             "proof",
             "trim",
             "lint-proof",
+            "lint-bundle",
+            "emit-miter",
+            "emit-cnf",
+            "emit-cert",
             "check",
             "quiet",
         ],
@@ -66,9 +82,20 @@ fn run() -> Result<i32, String> {
         return Err(
             "usage: rcec A.aag B.aag [--monolithic] [--no-struct] [--no-share] \
                     [--no-sweep] [--limit=N] [--threads=N] [--pairs-per-worker=N] \
-                    [--proof=FILE] [--trim] [--lint-proof] [--check] [--quiet]"
+                    [--proof=FILE] [--trim] [--lint-proof] [--lint-bundle] \
+                    [--emit-miter=FILE] [--emit-cnf=FILE] [--emit-cert=FILE] \
+                    [--check] [--quiet]"
                 .into(),
         );
+    }
+    let bundle_flags = args.has("lint-bundle")
+        || args.value("emit-miter").is_some()
+        || args.value("emit-cnf").is_some()
+        || args.value("emit-cert").is_some();
+    if bundle_flags && (args.has("bdd") || args.has("monolithic")) {
+        return Err("--lint-bundle/--emit-* need the sweeping engine's miter; \
+             they cannot combine with --bdd or --monolithic"
+            .into());
     }
     let quiet = args.has("quiet");
     let read = |path: &str| -> Result<aig::Aig, String> {
@@ -115,6 +142,7 @@ fn run() -> Result<i32, String> {
     } else {
         let mut options = CecOptions {
             lint_proof: args.has("lint-proof"),
+            lint_bundle: args.has("lint-bundle"),
             verify: args.has("check"),
             ..CecOptions::default()
         };
@@ -165,18 +193,17 @@ fn run() -> Result<i32, String> {
                     return Err(format!("proof lint failed: {}", report.counts()));
                 }
             }
+            let trimmed = if args.has("trim") {
+                cert.proof.as_ref().map(proof::trim_refutation)
+            } else {
+                None
+            };
             if let Some(path) = args.value("proof") {
                 let p = cert
                     .proof
                     .as_ref()
                     .ok_or("no proof recorded (internal error)")?;
-                let trimmed;
-                let to_write = if args.has("trim") {
-                    trimmed = proof::trim_refutation(p);
-                    &trimmed.proof
-                } else {
-                    p
-                };
+                let to_write = trimmed.as_ref().map_or(p, |t| &t.proof);
                 let f = File::create(path).map_err(|e| format!("{path}: {e}"))?;
                 let mut w = BufWriter::new(f);
                 proof::export::write_tracecheck(to_write, &mut w)
@@ -185,6 +212,42 @@ fn run() -> Result<i32, String> {
                 if !quiet {
                     eprintln!("proof written to {path} ({} steps)", to_write.len());
                 }
+            }
+            if args.value("emit-miter").is_some() || args.value("emit-cnf").is_some() {
+                // The identical deterministic construction the prover ran.
+                let miter = cec::Miter::build(&a, &b, !args.has("no-share"));
+                if let Some(path) = args.value("emit-miter") {
+                    let f = File::create(path).map_err(|e| format!("{path}: {e}"))?;
+                    let mut w = BufWriter::new(f);
+                    aig::aiger::write_ascii(&miter.graph, &mut w)
+                        .and_then(|()| w.flush())
+                        .map_err(|e| format!("{path}: {e}"))?;
+                }
+                if let Some(path) = args.value("emit-cnf") {
+                    let formula = cec::miter_cnf(&miter);
+                    let f = File::create(path).map_err(|e| format!("{path}: {e}"))?;
+                    let mut w = BufWriter::new(f);
+                    cnf::dimacs::write(&formula, &mut w)
+                        .and_then(|()| w.flush())
+                        .map_err(|e| format!("{path}: {e}"))?;
+                }
+            }
+            if let Some(path) = args.value("emit-cert") {
+                let info = match &trimmed {
+                    Some(t) => lint::CertificateInfo {
+                        empty_clause: Some(t.root.index()),
+                        original: Some(t.proof.num_original()),
+                        derived: Some(t.proof.num_derived()),
+                        resolutions: Some(t.proof.num_resolutions()),
+                        ..lint::CertificateInfo::default()
+                    },
+                    None => cert.info(),
+                };
+                let f = File::create(path).map_err(|e| format!("{path}: {e}"))?;
+                let mut w = BufWriter::new(f);
+                info.write(&mut w)
+                    .and_then(|()| w.flush())
+                    .map_err(|e| format!("{path}: {e}"))?;
             }
             println!("EQUIVALENT");
             Ok(exit::OK)

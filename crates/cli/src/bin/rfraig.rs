@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! rfraig IN.aag OUT.aag [--binary] [--limit=N] [--threads=N]
-//!        [--pairs-per-worker=N] [--verify] [--lint-proof] [--quiet]
+//!        [--pairs-per-worker=N] [--verify] [--lint-proof] [--lint-bundle]
+//!        [--quiet]
 //! ```
 //!
 //! `--threads=N` shards the sweeping phase over `N` worker threads
@@ -10,7 +11,8 @@
 //! `--pairs-per-worker=N` sizes each parallel round's candidate window.
 //! `--lint-proof` statically lints the proof recorded by the `--verify`
 //! equivalence check (it implies nothing on its own: reduction itself
-//! records no refutation).
+//! records no refutation); `--lint-bundle` additionally checks the
+//! cross-artifact AIG↔CNF↔proof↔certificate binding of that check.
 //!
 //! Merges functionally equivalent nodes by SAT sweeping and writes the
 //! reduced circuit. With `--verify`, the reduction is proven
@@ -45,6 +47,7 @@ fn run() -> Result<i32, String> {
             "pairs-per-worker",
             "verify",
             "lint-proof",
+            "lint-bundle",
             "quiet",
         ],
     )
@@ -52,7 +55,8 @@ fn run() -> Result<i32, String> {
     if args.positional.len() != 2 {
         return Err(
             "usage: rfraig IN.aag OUT.aag [--binary] [--limit=N] [--threads=N] \
-                    [--pairs-per-worker=N] [--verify] [--lint-proof] [--quiet]"
+                    [--pairs-per-worker=N] [--verify] [--lint-proof] [--lint-bundle] \
+                    [--quiet]"
                 .into(),
         );
     }
@@ -94,6 +98,7 @@ fn run() -> Result<i32, String> {
         let outcome = Prover::new(CecOptions {
             verify: true,
             lint_proof: args.has("lint-proof"),
+            lint_bundle: args.has("lint-bundle"),
             threads: options.threads,
             pairs_per_worker: options.pairs_per_worker,
             ..CecOptions::default()

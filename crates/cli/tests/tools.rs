@@ -457,3 +457,263 @@ fn rcec_bdd_mode() {
     let _ = fs::remove_file(a_path);
     let _ = fs::remove_file(b_path);
 }
+
+#[test]
+fn rcec_emits_bundle_and_rplint_audits_it_clean() {
+    // The full third-party bundle audit loop: rcec exports its miter,
+    // CNF, proof, and certificate; rplint re-checks the cross-artifact
+    // binding from the files alone — sequentially and 4-threaded.
+    let a_path = tmp("bundle-a.aag");
+    let b_path = tmp("bundle-b.aag");
+    write_aiger(&aig::gen::ripple_carry_adder(8), &a_path);
+    write_aiger(&aig::gen::kogge_stone_adder(8), &b_path);
+    for threads in ["1", "4"] {
+        let miter_path = tmp(&format!("bundle-{threads}-m.aag"));
+        let cnf_path = tmp(&format!("bundle-{threads}-m.cnf"));
+        let proof_path = tmp(&format!("bundle-{threads}.trace"));
+        let cert_path = tmp(&format!("bundle-{threads}.cert"));
+        let out = run(
+            env!("CARGO_BIN_EXE_rcec"),
+            &[
+                a_path.to_str().unwrap(),
+                b_path.to_str().unwrap(),
+                &format!("--threads={threads}"),
+                &format!("--proof={}", proof_path.display()),
+                &format!("--emit-miter={}", miter_path.display()),
+                &format!("--emit-cnf={}", cnf_path.display()),
+                &format!("--emit-cert={}", cert_path.display()),
+                "--lint-bundle",
+                "--quiet",
+            ],
+        );
+        assert_eq!(out.status.code(), Some(0), "{out:?}");
+        assert!(String::from_utf8_lossy(&out.stdout).contains("EQUIVALENT"));
+
+        let out = run(
+            env!("CARGO_BIN_EXE_rplint"),
+            &[
+                miter_path.to_str().unwrap(),
+                cnf_path.to_str().unwrap(),
+                proof_path.to_str().unwrap(),
+                cert_path.to_str().unwrap(),
+                "--refutation",
+            ],
+        );
+        assert_eq!(out.status.code(), Some(0), "{out:?}");
+        let text = String::from_utf8_lossy(&out.stdout);
+        assert!(text.contains("bundle:"), "{text}");
+        for p in [miter_path, cnf_path, proof_path, cert_path] {
+            let _ = fs::remove_file(p);
+        }
+    }
+    let _ = fs::remove_file(a_path);
+    let _ = fs::remove_file(b_path);
+}
+
+#[test]
+fn rplint_bundle_corruptions_yield_distinct_xb_codes() {
+    // One corrupted Tseitin clause, one foreign proof input clause, and
+    // one mismatched certificate field: three distinct XB error codes.
+    let a_path = tmp("xb-a.aag");
+    let b_path = tmp("xb-b.aag");
+    let miter_path = tmp("xb-m.aag");
+    let cnf_path = tmp("xb-m.cnf");
+    let proof_path = tmp("xb.trace");
+    let cert_path = tmp("xb.cert");
+    write_aiger(&aig::gen::ripple_carry_adder(6), &a_path);
+    write_aiger(&aig::gen::brent_kung_adder(6), &b_path);
+    let out = run(
+        env!("CARGO_BIN_EXE_rcec"),
+        &[
+            a_path.to_str().unwrap(),
+            b_path.to_str().unwrap(),
+            &format!("--proof={}", proof_path.display()),
+            &format!("--emit-miter={}", miter_path.display()),
+            &format!("--emit-cnf={}", cnf_path.display()),
+            &format!("--emit-cert={}", cert_path.display()),
+            "--quiet",
+        ],
+    );
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+
+    // Flip the sign of the first literal of the first 3-literal
+    // (Tseitin t3) clause.
+    let cnf_text = fs::read_to_string(&cnf_path).unwrap();
+    let mut flipped = false;
+    let bad_cnf: Vec<String> = cnf_text
+        .lines()
+        .map(|line| {
+            if !flipped && !line.starts_with('p') && line.split_whitespace().count() == 4 {
+                flipped = true;
+                let mut toks: Vec<String> = line.split_whitespace().map(str::to_owned).collect();
+                let v: i64 = toks[0].parse().unwrap();
+                toks[0] = (-v).to_string();
+                toks.join(" ")
+            } else {
+                line.to_owned()
+            }
+        })
+        .collect();
+    assert!(flipped, "no 3-literal clause in {cnf_text}");
+    fs::write(&cnf_path, bad_cnf.join("\n") + "\n").unwrap();
+
+    // Append an input step over two primary-input variables that no CNF
+    // clause relates: a foreign clause.
+    let proof_text = fs::read_to_string(&proof_path).unwrap();
+    let next_id = proof_text.lines().count() + 1;
+    fs::write(&proof_path, format!("{proof_text}{next_id} 2 3 0 0\n")).unwrap();
+
+    // Point the certificate at the wrong empty-clause step.
+    let cert_text = fs::read_to_string(&cert_path).unwrap();
+    let bad_cert: Vec<String> = cert_text
+        .lines()
+        .map(|line| {
+            if line.starts_with("empty-clause") {
+                "empty-clause 0".to_owned()
+            } else {
+                line.to_owned()
+            }
+        })
+        .collect();
+    fs::write(&cert_path, bad_cert.join("\n") + "\n").unwrap();
+
+    let out = run(
+        env!("CARGO_BIN_EXE_rplint"),
+        &[
+            miter_path.to_str().unwrap(),
+            cnf_path.to_str().unwrap(),
+            proof_path.to_str().unwrap(),
+            cert_path.to_str().unwrap(),
+        ],
+    );
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    for code in ["XB003", "XB005", "XB007"] {
+        assert!(text.contains(code), "missing {code} in:\n{text}");
+    }
+    for p in [a_path, b_path, miter_path, cnf_path, proof_path, cert_path] {
+        let _ = fs::remove_file(p);
+    }
+}
+
+#[test]
+fn rplint_fix_shrinks_proof_and_is_idempotent() {
+    // A refutation padded with a duplicate derivation, a dead step, and
+    // an unreferenced tautology: --fix strips all three, the result
+    // passes rcheck, and a second --fix run changes nothing.
+    let path = tmp("fix.trace");
+    let fixed_path = tmp("fix-1.trace");
+    let fixed_again_path = tmp("fix-2.trace");
+    fs::write(
+        &path,
+        "1 1 2 0 0\n2 -1 2 0 0\n3 1 -2 0 0\n4 -1 -2 0 0\n5 2 0 1 2 0\n\
+         6 2 0 1 2 0\n7 1 0 1 3 0\n8 1 -1 0 0\n9 -2 0 3 4 0\n10 0 5 9 0\n",
+    )
+    .unwrap();
+    let out = run(
+        env!("CARGO_BIN_EXE_rplint"),
+        &[
+            path.to_str().unwrap(),
+            "--fix",
+            &format!("--fix-out={}", fixed_path.display()),
+        ],
+    );
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let fixed = fs::read_to_string(&fixed_path).unwrap();
+    assert_eq!(fixed.lines().count(), 7, "{fixed}");
+
+    let out = run(
+        env!("CARGO_BIN_EXE_rcheck"),
+        &[fixed_path.to_str().unwrap(), "--refutation", "--quiet"],
+    );
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+
+    let out = run(
+        env!("CARGO_BIN_EXE_rplint"),
+        &[
+            fixed_path.to_str().unwrap(),
+            "--fix",
+            &format!("--fix-out={}", fixed_again_path.display()),
+        ],
+    );
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    assert_eq!(fixed, fs::read_to_string(&fixed_again_path).unwrap());
+    for p in [path, fixed_path, fixed_again_path] {
+        let _ = fs::remove_file(p);
+    }
+}
+
+#[test]
+fn rplint_drat_frontend() {
+    // A clean DRUP refutation of the xor formula lints clean against
+    // its CNF; an addition that does not follow by unit propagation is
+    // DR002.
+    let cnf_path = tmp("drat.cnf");
+    let drat_path = tmp("drat.drat");
+    fs::write(&cnf_path, "p cnf 2 4\n1 2 0\n-1 2 0\n1 -2 0\n-1 -2 0\n").unwrap();
+    fs::write(&drat_path, "1 0\n0\n").unwrap();
+    let out = run(
+        env!("CARGO_BIN_EXE_rplint"),
+        &[
+            cnf_path.to_str().unwrap(),
+            drat_path.to_str().unwrap(),
+            "--refutation",
+        ],
+    );
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+
+    fs::write(&cnf_path, "p cnf 2 1\n1 2 0\n").unwrap();
+    fs::write(&drat_path, "1 0\n").unwrap();
+    let out = run(
+        env!("CARGO_BIN_EXE_rplint"),
+        &[cnf_path.to_str().unwrap(), drat_path.to_str().unwrap()],
+    );
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("DR002"), "{text}");
+
+    // Standalone (no formula), the same trace has nothing to violate.
+    let out = run(env!("CARGO_BIN_EXE_rplint"), &[drat_path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let _ = fs::remove_file(cnf_path);
+    let _ = fs::remove_file(drat_path);
+}
+
+#[test]
+fn rplint_list_groups_by_family() {
+    let out = run(env!("CARGO_BIN_EXE_rplint"), &["--list"]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    for header in [
+        "RP — resolution proofs",
+        "CF — CNF formulas",
+        "AG — AIG netlists",
+        "XB — cross-artifact bundles",
+        "DR — DRAT clausal proofs",
+    ] {
+        assert!(text.contains(header), "--list missing header {header:?}");
+    }
+    for code in ["XB001", "XB009", "DR001", "DR005"] {
+        assert!(text.contains(code), "--list missing {code}");
+    }
+    // Codes appear under their family header, i.e. grouped.
+    let rp = text.find("RP — ").unwrap();
+    let xb = text.find("XB — ").unwrap();
+    assert!(rp < text.find("RP001").unwrap());
+    assert!(text.find("XB001").unwrap() > xb);
+    assert!(text.find("RP001").unwrap() < xb);
+}
+
+#[test]
+fn rcec_bundle_flags_require_sweeping_engine() {
+    let out = run(
+        env!("CARGO_BIN_EXE_rcec"),
+        &["a", "b", "--bdd", "--lint-bundle"],
+    );
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let out = run(
+        env!("CARGO_BIN_EXE_rcec"),
+        &["a", "b", "--monolithic", "--emit-cnf=x"],
+    );
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+}

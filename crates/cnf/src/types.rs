@@ -246,6 +246,15 @@ impl Cnf {
         self.clauses.len() - 1
     }
 
+    /// Mutable access to the clause list, for in-place edits such as
+    /// strengthening, reordering, or removing clauses. Callers must not
+    /// introduce variables at or beyond [`Cnf::num_vars`]; call
+    /// [`Cnf::reserve_vars`] first when widening a clause.
+    #[inline]
+    pub fn clauses_mut(&mut self) -> &mut Vec<Clause> {
+        &mut self.clauses
+    }
+
     /// Total number of literal occurrences.
     pub fn num_literals(&self) -> usize {
         self.clauses.iter().map(Vec::len).sum()

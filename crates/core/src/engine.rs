@@ -84,6 +84,12 @@ pub struct CecOptions {
     /// than [`CecOptions::verify`]'s full replay, and localizes defects
     /// instead of rejecting wholesale.
     pub lint_proof: bool,
+    /// Run the cross-artifact bundle lint on top of the proof lint: the
+    /// engine re-derives its own miter CNF via [`miter_cnf`] and checks
+    /// AIG↔CNF↔proof↔certificate binding with [`lint::lint_bundle`].
+    /// Implies the proof lint; counts and report land in the same
+    /// places.
+    pub lint_bundle: bool,
     /// Re-check the recorded proof with the independent checker before
     /// returning, and validate counterexamples by evaluation. Failures
     /// become [`CecError`]s instead of silently wrong verdicts.
@@ -103,6 +109,7 @@ impl Default for CecOptions {
             pairs_per_worker: 8,
             proof: true,
             lint_proof: false,
+            lint_bundle: false,
             verify: false,
         }
     }
@@ -207,13 +214,35 @@ impl Prover {
                     if self.options.verify {
                         stats.check_elapsed = Some(check_start.elapsed());
                     }
-                    if self.options.lint_proof {
+                    if self.options.lint_proof || self.options.lint_bundle {
                         let lint_opts = lint::LintOptions {
                             expect_refutation: true,
                             stitch_boundaries: stats.stitch_boundaries.clone(),
                             ..lint::LintOptions::default()
                         };
-                        let report = lint::lint_proof(p, &lint_opts);
+                        let mut report = lint::lint_proof(p, &lint_opts);
+                        if self.options.lint_bundle {
+                            let bundle_cnf = miter_cnf(&miter);
+                            let info = lint::CertificateInfo {
+                                empty_clause: empty.map(ClauseId::index),
+                                rounds: Some(stats.rounds),
+                                stitch_boundaries: stats.stitch_boundaries.clone(),
+                                original: Some(p.num_original()),
+                                derived: Some(p.num_derived()),
+                                resolutions: Some(p.num_resolutions()),
+                            };
+                            let mut bundle = lint::lint_bundle(
+                                &lint::Bundle {
+                                    aig: Some(&miter.graph),
+                                    cnf: Some(&bundle_cnf),
+                                    proof: Some(p),
+                                    certificate: Some(&info),
+                                },
+                                &lint_opts,
+                            );
+                            bundle.absorb(report);
+                            report = bundle;
+                        }
                         stats.lints = Some(report.counts());
                         lint_report = Some(report);
                     }
@@ -1255,6 +1284,18 @@ impl<'g> Sweep<'g> {
 #[inline]
 fn node_lit(l: aig::Lit) -> Lit {
     Var::new(l.node().index()).lit(l.is_complemented())
+}
+
+/// The CNF a [`Prover`] run refutes for this miter: the Tseitin encoding
+/// of the miter graph under the identity node-to-variable map, plus the
+/// unit clause asserting the miter output — exactly the clauses
+/// [`Sweep`] feeds its solver, in the same order. This is the formula to
+/// hand to `lint::lint_bundle` or to export as DIMACS next to the
+/// proof so a third party can audit the whole pipeline.
+pub fn miter_cnf(miter: &Miter) -> cnf::Cnf {
+    let mut f = cnf::tseitin::encode(&miter.graph).cnf;
+    f.add_clause(vec![node_lit(miter.output)]);
+    f
 }
 
 #[inline]

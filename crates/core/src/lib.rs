@@ -43,7 +43,7 @@ pub mod monolithic;
 mod outcome;
 mod sim;
 
-pub use engine::{reduce, CecOptions, Prover};
+pub use engine::{miter_cnf, reduce, CecOptions, Prover};
 pub use miter::Miter;
 pub use outcome::{CecError, CecOutcome, Certificate, Counterexample, EngineStats, WorkerStats};
 pub use sim::SimClasses;

@@ -159,6 +159,21 @@ impl Certificate {
             !a_side.contains(&id)
         }))
     }
+
+    /// The certificate's metadata in the artifact-neutral form consumed
+    /// by `lint::lint_bundle` and serialized as a `.cert` file: the
+    /// empty-clause step id, the parallel-round count with its stitch
+    /// boundaries, and the proof's step counts.
+    pub fn info(&self) -> lint::CertificateInfo {
+        lint::CertificateInfo {
+            empty_clause: self.empty_clause.map(ClauseId::index),
+            rounds: Some(self.stats.rounds),
+            stitch_boundaries: self.stats.stitch_boundaries.clone(),
+            original: self.proof.as_ref().map(Proof::num_original),
+            derived: self.proof.as_ref().map(Proof::num_derived),
+            resolutions: self.proof.as_ref().map(Proof::num_resolutions),
+        }
+    }
 }
 
 /// A concrete input pattern on which the two circuits differ.

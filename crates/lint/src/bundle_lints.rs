@@ -1,0 +1,673 @@
+//! Cross-artifact bundle lints (`XB` codes).
+//!
+//! A proof-carrying CEC run produces a *chain* of artifacts: the miter
+//! AIG, its Tseitin CNF, the resolution proof over that CNF, and the
+//! certificate metadata describing the proof. Each per-artifact lint
+//! pass can be clean while the chain is broken — the CNF encodes a
+//! *different* circuit, the proof's input clauses come from a *different*
+//! formula, or the certificate points at the wrong step. [`lint_bundle`]
+//! closes that trust gap statically:
+//!
+//! - **AIG ↔ CNF** (`XB001`–`XB004`): the expected Tseitin definition
+//!   clauses are reconstructed per AND gate via [`cnf::tseitin`] under
+//!   the identity node-to-variable map (variable *i* is AIG node *i*,
+//!   exactly the convention of `cnf::tseitin::encode` and the sweeping
+//!   engine) and diffed against the actual CNF. Unit clauses beyond the
+//!   constant pin are accepted as assertions/assumptions — asserting the
+//!   miter output is the whole point of the encoding.
+//! - **CNF ↔ proof** (`XB005`–`XB006`): every input step's clause must
+//!   literally occur in the CNF. Lookups are hash-indexed over
+//!   normalized clauses; a clause whose *variables* match a CNF clause
+//!   but whose signs differ is reported as a near miss (literal order is
+//!   normalized away, so permutation errors cannot arise).
+//! - **certificate ↔ proof** (`XB007`–`XB009`): the recorded
+//!   empty-clause id, stitch boundaries, and step counts must agree with
+//!   what the proof actually contains.
+
+use crate::{
+    clause_dimacs, clause_vars, normalize_clause, Artifact, LintOptions, Location, Report, XB001,
+    XB002, XB003, XB004, XB005, XB006, XB007, XB008, XB009,
+};
+use aig::Aig;
+use cnf::tseitin::and_clauses;
+use cnf::{Cnf, Lit, Var};
+use proof::Proof;
+use std::collections::HashMap;
+use std::io::{self, Write};
+
+/// Certificate metadata in artifact-neutral form, as consumed by
+/// [`lint_bundle`]'s `XB007`–`XB009` checks.
+///
+/// The engine's `Certificate` type lives above this crate in the
+/// dependency graph, so it mirrors itself into this struct (and into the
+/// `.cert` key–value text format via [`CertificateInfo::write`] /
+/// [`CertificateInfo::parse`]) for static auditing. Every field is
+/// optional: absent fields are simply not checked.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CertificateInfo {
+    /// Step id of the empty clause inside the proof.
+    pub empty_clause: Option<u32>,
+    /// Parallel sweep rounds (zero for a sequential run).
+    pub rounds: Option<u64>,
+    /// Proof lengths recorded around the parallel sweep: the length when
+    /// stitching began, then after each round's merge — so a run with
+    /// `rounds = r > 0` records exactly `r + 1` boundaries.
+    pub stitch_boundaries: Vec<u32>,
+    /// Number of input (original) steps in the proof.
+    pub original: Option<usize>,
+    /// Number of derived steps in the proof.
+    pub derived: Option<usize>,
+    /// Total resolutions (antecedent count minus one, summed).
+    pub resolutions: Option<u64>,
+}
+
+impl CertificateInfo {
+    /// Writes the `.cert` text form: one `key value...` line per present
+    /// field, with a leading comment identifying the format.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from `w`.
+    pub fn write<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        writeln!(w, "c resolution-cec certificate v1")?;
+        if let Some(e) = self.empty_clause {
+            writeln!(w, "empty-clause {e}")?;
+        }
+        if let Some(r) = self.rounds {
+            writeln!(w, "rounds {r}")?;
+        }
+        if !self.stitch_boundaries.is_empty() {
+            write!(w, "boundaries")?;
+            for b in &self.stitch_boundaries {
+                write!(w, " {b}")?;
+            }
+            writeln!(w)?;
+        }
+        if let Some(n) = self.original {
+            writeln!(w, "original {n}")?;
+        }
+        if let Some(n) = self.derived {
+            writeln!(w, "derived {n}")?;
+        }
+        if let Some(n) = self.resolutions {
+            writeln!(w, "resolutions {n}")?;
+        }
+        Ok(())
+    }
+
+    /// Parses the `.cert` text form written by [`CertificateInfo::write`].
+    /// Comment lines (`c ...`) and blank lines are ignored.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending line on unknown keys or
+    /// malformed values.
+    pub fn parse(text: &str) -> Result<CertificateInfo, String> {
+        let mut info = CertificateInfo::default();
+        for (line_no, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('c') {
+                continue;
+            }
+            let mut tokens = line.split_whitespace();
+            let key = tokens.next().expect("non-empty line has a token");
+            let mut one = |what: &str| -> Result<u64, String> {
+                let tok = tokens
+                    .next()
+                    .ok_or_else(|| format!("line {}: `{key}` needs a value", line_no + 1))?;
+                tok.parse()
+                    .map_err(|e| format!("line {}: bad {what} `{tok}`: {e}", line_no + 1))
+            };
+            match key {
+                "empty-clause" => info.empty_clause = Some(one("step id")? as u32),
+                "rounds" => info.rounds = Some(one("round count")?),
+                "original" => info.original = Some(one("step count")? as usize),
+                "derived" => info.derived = Some(one("step count")? as usize),
+                "resolutions" => info.resolutions = Some(one("resolution count")?),
+                "boundaries" => {
+                    for tok in tokens.by_ref() {
+                        let b: u32 = tok.parse().map_err(|e| {
+                            format!("line {}: bad boundary `{tok}`: {e}", line_no + 1)
+                        })?;
+                        info.stitch_boundaries.push(b);
+                    }
+                }
+                other => return Err(format!("line {}: unknown key `{other}`", line_no + 1)),
+            }
+            if key != "boundaries" && tokens.next().is_some() {
+                return Err(format!(
+                    "line {}: trailing tokens after `{key}`",
+                    line_no + 1
+                ));
+            }
+        }
+        Ok(info)
+    }
+}
+
+/// The artifacts of one certification bundle. Any subset may be present;
+/// each pairwise check runs only when both of its artifacts are.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Bundle<'a> {
+    /// The (miter) circuit the CNF is supposed to encode.
+    pub aig: Option<&'a Aig>,
+    /// The Tseitin CNF the proof is supposed to refute.
+    pub cnf: Option<&'a Cnf>,
+    /// The recorded resolution proof.
+    pub proof: Option<&'a Proof>,
+    /// The certificate metadata describing the proof.
+    pub certificate: Option<&'a CertificateInfo>,
+}
+
+/// Statically checks that the bundle's artifacts bind to each other.
+/// All `XB` checks are structural (hash-indexed set comparisons), so the
+/// pass runs regardless of [`LintOptions::chain`].
+pub fn lint_bundle(bundle: &Bundle<'_>, opts: &LintOptions) -> Report {
+    let mut report = Report::new(Artifact::Bundle);
+    let cap = opts.max_per_lint;
+    if let (Some(g), Some(f)) = (bundle.aig, bundle.cnf) {
+        lint_aig_cnf(g, f, &mut report, cap);
+    }
+    if let (Some(f), Some(p)) = (bundle.cnf, bundle.proof) {
+        lint_cnf_proof(f, p, &mut report, cap);
+    }
+    if let (Some(c), Some(p)) = (bundle.certificate, bundle.proof) {
+        lint_cert_proof(c, p, &mut report, cap);
+    }
+    report
+}
+
+/// One reconstructed Tseitin definition clause awaiting its CNF match.
+struct ExpectedClause {
+    lits: Vec<Lit>,
+    node: u32,
+    which: usize,
+}
+
+/// Consumes (marks matched) the first unmatched expected clause among
+/// `idxs`, returning its index.
+fn take(idxs: Option<&Vec<usize>>, matched: &mut [bool]) -> Option<usize> {
+    let i = *idxs?.iter().find(|&&i| !matched[i])?;
+    matched[i] = true;
+    Some(i)
+}
+
+/// AIG ↔ CNF: diff the actual CNF against the Tseitin reconstruction.
+fn lint_aig_cnf(g: &Aig, f: &Cnf, report: &mut Report, cap: usize) {
+    if (f.num_vars() as usize) < g.len() {
+        report.emit(XB001, None, cap, || {
+            format!(
+                "the CNF declares {} variables but the AIG has {} nodes \
+                 (node i must map to variable i)",
+                f.num_vars(),
+                g.len()
+            )
+        });
+    }
+
+    // Reconstruct the expected definition clauses: the constant pin plus
+    // three clauses per AND gate, all normalized.
+    let mut expected: Vec<ExpectedClause> = Vec::with_capacity(1 + 3 * g.num_ands());
+    expected.push(ExpectedClause {
+        lits: vec![Var::new(0).negative()],
+        node: 0,
+        which: 0,
+    });
+    for (id, fa, fb) in g.iter_ands() {
+        let x = Var::new(id.index()).positive();
+        let a = aig_lit(fa);
+        let b = aig_lit(fb);
+        for (which, clause) in and_clauses(x, a, b).into_iter().enumerate() {
+            expected.push(ExpectedClause {
+                lits: normalize_clause(clause),
+                node: id.index(),
+                which,
+            });
+        }
+    }
+    let mut by_lits: HashMap<&[Lit], Vec<usize>> = HashMap::new();
+    let mut by_vars: HashMap<Vec<u32>, Vec<usize>> = HashMap::new();
+    for (i, e) in expected.iter().enumerate() {
+        by_lits.entry(&e.lits).or_default().push(i);
+        by_vars.entry(clause_vars(&e.lits)).or_default().push(i);
+    }
+
+    // Match every actual clause against the reconstruction.
+    let mut matched = vec![false; expected.len()];
+    let mut near: Vec<(usize, usize)> = Vec::new(); // (clause index, expected index)
+    let mut unexplained: Vec<usize> = Vec::new();
+    for (ci, clause) in f.clauses().iter().enumerate() {
+        let norm = normalize_clause(clause.clone());
+        if take(by_lits.get(norm.as_slice()), &mut matched).is_some() {
+            continue;
+        }
+        if norm.len() == 1 {
+            // A unit beyond the constant pin is an assertion or an
+            // assumption-strength clause; the output unit of a miter
+            // encoding lands here.
+            continue;
+        }
+        match take(by_vars.get(&clause_vars(&norm)), &mut matched) {
+            Some(i) => near.push((ci, i)),
+            None => unexplained.push(ci),
+        }
+    }
+    for (ci, i) in near {
+        let e = &expected[i];
+        report.emit(XB003, Some(Location::Clause(ci as u32)), cap, || {
+            format!(
+                "clause {} matches the Tseitin definition clause {} of gate n{} \
+                 ({}) on variables but differs in polarity",
+                clause_dimacs(&f.clauses()[ci]),
+                e.which + 1,
+                e.node,
+                clause_dimacs(&e.lits)
+            )
+        });
+    }
+    for ci in unexplained {
+        report.emit(XB004, Some(Location::Clause(ci as u32)), cap, || {
+            format!(
+                "clause {} is not a Tseitin definition clause of any AND gate",
+                clause_dimacs(&f.clauses()[ci])
+            )
+        });
+    }
+    for (i, e) in expected.iter().enumerate() {
+        if !matched[i] {
+            report.emit(XB002, Some(Location::Node(e.node)), cap, || {
+                if e.node == 0 {
+                    format!(
+                        "the constant-pin unit clause {} is missing from the CNF",
+                        clause_dimacs(&e.lits)
+                    )
+                } else {
+                    format!(
+                        "Tseitin definition clause {} of gate n{} ({}) is missing from the CNF",
+                        e.which + 1,
+                        e.node,
+                        clause_dimacs(&e.lits)
+                    )
+                }
+            });
+        }
+    }
+}
+
+/// Solver literal of an AIG edge under the identity node-to-variable map.
+fn aig_lit(l: aig::Lit) -> Lit {
+    Var::new(l.node().index()).lit(l.is_complemented())
+}
+
+/// CNF ↔ proof: every input step's clause must occur in the CNF.
+fn lint_cnf_proof(f: &Cnf, p: &Proof, report: &mut Report, cap: usize) {
+    let mut clauses: HashMap<Vec<Lit>, usize> = HashMap::with_capacity(f.num_clauses());
+    let mut vars: HashMap<Vec<u32>, usize> = HashMap::with_capacity(f.num_clauses());
+    for (ci, clause) in f.clauses().iter().enumerate() {
+        let norm = normalize_clause(clause.clone());
+        vars.entry(clause_vars(&norm)).or_insert(ci);
+        clauses.entry(norm).or_insert(ci);
+    }
+    for (id, step) in p.iter() {
+        if !step.is_original() {
+            continue;
+        }
+        // Step clauses are already sorted and deduplicated.
+        if clauses.contains_key(step.clause) {
+            continue;
+        }
+        let loc = Some(Location::Step(id.index()));
+        match vars.get(&clause_vars(step.clause)) {
+            Some(&ci) => report.emit(XB006, loc, cap, || {
+                format!(
+                    "input step records {} but the CNF's clause {ci} over the same \
+                     variables is {} (sign flip; literal order is normalized)",
+                    clause_dimacs(step.clause),
+                    clause_dimacs(&f.clauses()[ci])
+                )
+            }),
+            None => report.emit(XB005, loc, cap, || {
+                format!(
+                    "input step records {}, which occurs nowhere in the CNF",
+                    clause_dimacs(step.clause)
+                )
+            }),
+        }
+    }
+}
+
+/// Certificate ↔ proof: recorded metadata must describe this proof.
+fn lint_cert_proof(c: &CertificateInfo, p: &Proof, report: &mut Report, cap: usize) {
+    let actual = p.empty_clause().map(proof::ClauseId::index);
+    match (c.empty_clause, actual) {
+        (Some(claimed), Some(real)) if claimed != real => {
+            report.emit(XB007, Some(Location::Step(claimed)), cap, || {
+                format!(
+                    "certificate points at step c{claimed} as the empty clause, \
+                     but the proof's empty clause is c{real}"
+                )
+            });
+        }
+        (Some(claimed), None) => {
+            report.emit(XB007, Some(Location::Step(claimed)), cap, || {
+                format!(
+                    "certificate points at step c{claimed} as the empty clause, \
+                     but the proof contains none"
+                )
+            });
+        }
+        (None, Some(real)) => {
+            report.emit(XB007, Some(Location::Step(real)), cap, || {
+                format!("the proof refutes at step c{real} but the certificate records no empty-clause id")
+            });
+        }
+        _ => {}
+    }
+
+    let boundaries = &c.stitch_boundaries;
+    if let Some(rounds) = c.rounds {
+        let expected = if rounds == 0 && boundaries.is_empty() {
+            0
+        } else {
+            rounds + 1
+        };
+        if boundaries.len() as u64 != expected {
+            report.emit(XB008, None, cap, || {
+                format!(
+                    "certificate records {rounds} parallel rounds but {} stitch \
+                     boundaries (a stitched run records rounds + 1)",
+                    boundaries.len()
+                )
+            });
+        }
+    }
+    for w in boundaries.windows(2) {
+        if w[1] < w[0] {
+            report.emit(XB008, None, cap, || {
+                format!("stitch boundaries decrease: {} after {}", w[1], w[0])
+            });
+        }
+    }
+    if let Some(&last) = boundaries.last() {
+        if last as usize > p.len() {
+            report.emit(XB008, None, cap, || {
+                format!(
+                    "stitch boundary {last} exceeds the proof length {}",
+                    p.len()
+                )
+            });
+        }
+    }
+
+    let counts = [
+        (
+            "input",
+            c.original.map(|n| n as u64),
+            p.num_original() as u64,
+        ),
+        (
+            "derived",
+            c.derived.map(|n| n as u64),
+            p.num_derived() as u64,
+        ),
+        ("resolution", c.resolutions, p.num_resolutions()),
+    ];
+    for (what, claimed, real) in counts {
+        if let Some(n) = claimed {
+            if n != real {
+                report.emit(XB009, None, cap, || {
+                    format!("certificate claims {n} {what} steps, the proof has {real}")
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LintOptions;
+
+    /// x2 = x0 ∧ x1 over inputs n1, n2 with the AND at n3 — wait, node 0
+    /// is the constant, so inputs are n1/n2 and the gate is n3.
+    fn gate() -> Aig {
+        let mut g = Aig::new();
+        let x = g.add_input();
+        let y = g.add_input();
+        let n = g.and(x, y);
+        g.add_output(n);
+        g
+    }
+
+    fn encoding(g: &Aig) -> Cnf {
+        cnf::tseitin::encode(g).cnf
+    }
+
+    fn opts() -> LintOptions {
+        LintOptions::default()
+    }
+
+    fn proof_of(f: &Cnf) -> Proof {
+        let mut p = Proof::new();
+        for c in f.clauses() {
+            p.add_original(c.iter().copied());
+        }
+        p
+    }
+
+    #[test]
+    fn clean_bundle_is_clean() {
+        let g = gate();
+        let mut f = encoding(&g);
+        // Assert the output, the way an engine would.
+        f.add_clause(vec![Var::new(3).positive()]);
+        let p = proof_of(&f);
+        let info = CertificateInfo {
+            original: Some(p.num_original()),
+            derived: Some(0),
+            resolutions: Some(0),
+            rounds: Some(0),
+            ..CertificateInfo::default()
+        };
+        let r = lint_bundle(
+            &Bundle {
+                aig: Some(&g),
+                cnf: Some(&f),
+                proof: Some(&p),
+                certificate: Some(&info),
+            },
+            &opts(),
+        );
+        assert!(r.is_clean(), "{:?}", r.diagnostics());
+        assert_eq!(r.counts().warnings, 0, "{:?}", r.diagnostics());
+    }
+
+    #[test]
+    fn missing_gate_clause_is_xb002() {
+        let g = gate();
+        let mut f = encoding(&g);
+        f.clauses_mut().remove(2);
+        let r = lint_bundle(
+            &Bundle {
+                aig: Some(&g),
+                cnf: Some(&f),
+                ..Bundle::default()
+            },
+            &opts(),
+        );
+        assert!(r.has("XB002"), "{:?}", r.diagnostics());
+        assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn sign_flip_is_xb003_not_xb002() {
+        let g = gate();
+        let mut f = encoding(&g);
+        // Flip the first literal of the three-literal clause (x ∨ ¬a ∨ ¬b).
+        let victim = f
+            .clauses_mut()
+            .iter_mut()
+            .find(|c| c.len() == 3)
+            .expect("t3 present");
+        victim[0] = !victim[0];
+        let r = lint_bundle(
+            &Bundle {
+                aig: Some(&g),
+                cnf: Some(&f),
+                ..Bundle::default()
+            },
+            &opts(),
+        );
+        assert!(r.has("XB003"), "{:?}", r.diagnostics());
+        assert!(!r.has("XB002"), "{:?}", r.diagnostics());
+        assert!(!r.has("XB004"), "{:?}", r.diagnostics());
+    }
+
+    #[test]
+    fn alien_clause_is_xb004_warning() {
+        let g = gate();
+        let mut f = encoding(&g);
+        f.add_clause(vec![Var::new(1).positive(), Var::new(4).positive()]);
+        let r = lint_bundle(
+            &Bundle {
+                aig: Some(&g),
+                cnf: Some(&f),
+                ..Bundle::default()
+            },
+            &opts(),
+        );
+        assert!(r.has("XB004"), "{:?}", r.diagnostics());
+        assert!(r.is_clean(), "XB004 is a warning");
+    }
+
+    #[test]
+    fn narrow_cnf_is_xb001() {
+        let g = gate();
+        let f = Cnf::with_vars(2); // 4 nodes need 4 variables
+        let r = lint_bundle(
+            &Bundle {
+                aig: Some(&g),
+                cnf: Some(&f),
+                ..Bundle::default()
+            },
+            &opts(),
+        );
+        assert!(r.has("XB001"), "{:?}", r.diagnostics());
+    }
+
+    #[test]
+    fn foreign_and_near_miss_inputs_are_xb005_xb006() {
+        let g = gate();
+        let f = encoding(&g);
+        let mut p = proof_of(&f);
+        // Same variables as t1 of the gate but flipped signs: near miss.
+        p.add_original([Var::new(3).positive(), Var::new(1).negative()]);
+        // Variables no CNF clause has together: foreign.
+        p.add_original([Var::new(0).positive(), Var::new(2).positive()]);
+        let r = lint_bundle(
+            &Bundle {
+                cnf: Some(&f),
+                proof: Some(&p),
+                ..Bundle::default()
+            },
+            &opts(),
+        );
+        assert_eq!(r.total("XB006"), 1, "{:?}", r.diagnostics());
+        assert_eq!(r.total("XB005"), 1, "{:?}", r.diagnostics());
+    }
+
+    #[test]
+    fn certificate_mismatches_are_distinct_codes() {
+        let mut p = Proof::new();
+        let a = p.add_original([Var::new(0).positive()]);
+        let b = p.add_original([Var::new(0).negative()]);
+        let e = p.add_derived([], [a, b]);
+        let good = CertificateInfo {
+            empty_clause: Some(e.index()),
+            rounds: Some(0),
+            original: Some(2),
+            derived: Some(1),
+            resolutions: Some(1),
+            ..CertificateInfo::default()
+        };
+        let clean = lint_bundle(
+            &Bundle {
+                proof: Some(&p),
+                certificate: Some(&good),
+                ..Bundle::default()
+            },
+            &opts(),
+        );
+        assert!(clean.is_clean(), "{:?}", clean.diagnostics());
+
+        let wrong_empty = CertificateInfo {
+            empty_clause: Some(0),
+            ..good.clone()
+        };
+        let dropped_boundary = CertificateInfo {
+            rounds: Some(2),
+            stitch_boundaries: vec![1, 2],
+            ..good.clone()
+        };
+        let wrong_stats = CertificateInfo {
+            resolutions: Some(7),
+            ..good.clone()
+        };
+        for (cert, code) in [
+            (&wrong_empty, "XB007"),
+            (&dropped_boundary, "XB008"),
+            (&wrong_stats, "XB009"),
+        ] {
+            let r = lint_bundle(
+                &Bundle {
+                    proof: Some(&p),
+                    certificate: Some(cert),
+                    ..Bundle::default()
+                },
+                &opts(),
+            );
+            assert!(r.has(code), "{code}: {:?}", r.diagnostics());
+            assert_eq!(r.counts().errors, 1, "{code}: {:?}", r.diagnostics());
+        }
+    }
+
+    #[test]
+    fn decreasing_and_overlong_boundaries_are_xb008() {
+        let mut p = Proof::new();
+        p.add_original([Var::new(0).positive()]);
+        let r = lint_bundle(
+            &Bundle {
+                proof: Some(&p),
+                certificate: Some(&CertificateInfo {
+                    rounds: Some(1),
+                    stitch_boundaries: vec![5, 3],
+                    ..CertificateInfo::default()
+                }),
+                ..Bundle::default()
+            },
+            &opts(),
+        );
+        // Decreasing *and* beyond the proof length.
+        assert_eq!(r.total("XB008"), 2, "{:?}", r.diagnostics());
+    }
+
+    #[test]
+    fn cert_text_round_trips() {
+        let info = CertificateInfo {
+            empty_clause: Some(42),
+            rounds: Some(3),
+            stitch_boundaries: vec![10, 20, 30, 40],
+            original: Some(7),
+            derived: Some(35),
+            resolutions: Some(99),
+        };
+        let mut buf = Vec::new();
+        info.write(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(CertificateInfo::parse(&text).unwrap(), info);
+        assert!(CertificateInfo::parse("bogus 1\n").is_err());
+        assert!(CertificateInfo::parse("rounds\n").is_err());
+        assert!(CertificateInfo::parse("rounds 1 2\n").is_err());
+        assert!(CertificateInfo::parse("c comment\n\n").is_ok());
+    }
+}

@@ -9,32 +9,49 @@
 //! failing with a single opaque verdict, which makes them the right
 //! first tool when triaging a corrupted or hand-edited proof.
 //!
-//! Three entry points, one per artifact kind:
+//! Entry points, one per artifact kind plus one cross-artifact pass:
 //!
 //! - [`lint_proof`] — a [`proof::Proof`] already in memory;
 //! - [`lint_tracecheck`] — a TraceCheck file, parsed leniently so that
 //!   defects the strict importer rejects (forward references, id-order
 //!   violations) surface as diagnostics rather than hard errors;
-//! - [`lint_cnf`] / [`lint_aig`] — DIMACS formulas and AIG netlists.
+//! - [`lint_cnf`] / [`lint_aig`] — DIMACS formulas and AIG netlists;
+//! - [`lint_drat`] — a DRAT clausal proof file, optionally checked
+//!   against the formula it refutes;
+//! - [`lint_bundle`] — the *cross-artifact* pass: an AIG, its Tseitin
+//!   CNF, the recorded proof, and the certificate metadata together,
+//!   checking that each layer actually binds to the next.
+//!
+//! [`fix_proof`] complements the read-only passes: it mechanically
+//! repairs what the proof lints report (duplicate derivations, dead
+//! steps, unreferenced tautologies) and is idempotent by construction.
 //!
 //! Every lint is registered in [`REGISTRY`] with a stable code (`RPxxx`
-//! for proofs, `CFxxx` for CNF, `AGxxx` for AIG). Codes in the `RP1xx`
-//! range perform *chain analysis* — they gather antecedent clause
-//! literals — while `RP0xx` codes are purely structural; the
-//! [`LintOptions::chain`] switch selects between the fast structural
-//! pass and the full set. Reports render as text or JSON.
+//! for proofs, `CFxxx` for CNF, `AGxxx` for AIG, `XBxxx` for bundles,
+//! `DRxxx` for DRAT files). Codes in the `RP1xx` range perform *chain
+//! analysis* — they gather antecedent clause literals — while `RP0xx`
+//! codes are purely structural; the [`LintOptions::chain`] switch
+//! selects between the fast structural pass and the full set (for DRAT
+//! it gates the expensive RUP replay of `DR002`). Reports render as
+//! text or JSON.
 
 #![warn(missing_docs)]
 
 mod aig_lints;
+mod bundle_lints;
 mod cnf_lints;
+mod drat;
+mod fix;
 mod proof_lints;
 mod trace;
 
 pub use aig_lints::lint_aig;
+pub use bundle_lints::{lint_bundle, Bundle, CertificateInfo};
 pub use cnf_lints::lint_cnf;
+pub use drat::lint_drat;
+pub use fix::{fix_proof, FixResult, FixSummary};
 pub use proof_lints::lint_proof;
-pub use trace::lint_tracecheck;
+pub use trace::{lint_tracecheck, read_tracecheck};
 
 use std::fmt;
 use std::io::{self, Write};
@@ -78,6 +95,11 @@ pub enum Artifact {
     Cnf,
     /// An And-Inverter Graph netlist.
     Aig,
+    /// A cross-artifact certification bundle (AIG + CNF + proof +
+    /// certificate metadata, any subset of which may be present).
+    Bundle,
+    /// A DRAT clausal proof file.
+    Drat,
 }
 
 impl Artifact {
@@ -87,6 +109,8 @@ impl Artifact {
             Artifact::Proof => "proof",
             Artifact::Cnf => "cnf",
             Artifact::Aig => "aig",
+            Artifact::Bundle => "bundle",
+            Artifact::Drat => "drat",
         }
     }
 }
@@ -175,6 +199,34 @@ lints! {
         "an AND gate is constant-propagatable (constant or repeated/opposed fanins)");
     AG004 = ("AG004", "unused-input", Info, Aig, false,
         "a primary input feeds no output cone");
+    XB001 = ("XB001", "variable-map", Error, Bundle, false,
+        "the CNF's variable range cannot host the AIG's node-to-variable map");
+    XB002 = ("XB002", "missing-gate-clause", Error, Bundle, false,
+        "a Tseitin definition clause of an AND gate is absent from the CNF");
+    XB003 = ("XB003", "corrupt-gate-clause", Error, Bundle, false,
+        "a CNF clause matches a gate definition's variables but not its polarities");
+    XB004 = ("XB004", "unexplained-clause", Warn, Bundle, false,
+        "a non-unit CNF clause corresponds to no Tseitin definition clause");
+    XB005 = ("XB005", "foreign-input-clause", Error, Bundle, false,
+        "a proof input step's clause occurs nowhere in the CNF");
+    XB006 = ("XB006", "input-near-miss", Error, Bundle, false,
+        "a proof input step matches a CNF clause's variables but not its polarities");
+    XB007 = ("XB007", "certificate-empty-clause", Error, Bundle, false,
+        "the certificate's empty-clause step id disagrees with the proof");
+    XB008 = ("XB008", "certificate-boundaries", Error, Bundle, false,
+        "the certificate's stitch boundaries are inconsistent with its rounds or the proof");
+    XB009 = ("XB009", "certificate-stats", Error, Bundle, false,
+        "the certificate's step counts disagree with the proof");
+    DR001 = ("DR001", "parse-error", Error, Drat, false,
+        "the DRAT file violates the clause-line grammar");
+    DR002 = ("DR002", "non-rup-addition", Error, Drat, true,
+        "an added clause is not a reverse-unit-propagation consequence of the accumulated formula");
+    DR003 = ("DR003", "delete-unknown-clause", Warn, Drat, false,
+        "a deletion names a clause that is neither in the formula nor currently added");
+    DR004 = ("DR004", "duplicate-addition", Warn, Drat, false,
+        "an added clause is already active verbatim (up to literal order)");
+    DR005 = ("DR005", "no-refutation", Error, Drat, false,
+        "the DRAT file claims to refute but never adds the empty clause");
 }
 
 /// Looks up a lint by its stable code (e.g. `"RP101"`).
@@ -522,6 +574,42 @@ impl Report {
         s.push_str("]}");
         s
     }
+}
+
+/// Sorts by literal code and removes duplicates — the normal form used
+/// for clause comparisons across artifacts (matches how
+/// [`proof::Proof`] stores step clauses).
+pub(crate) fn normalize_clause(mut lits: Vec<cnf::Lit>) -> Vec<cnf::Lit> {
+    lits.sort_unstable_by_key(|l| l.code());
+    lits.dedup();
+    lits
+}
+
+/// The sorted, deduplicated variable indices of a normalized clause —
+/// the key used for polarity-blind near-miss matching.
+pub(crate) fn clause_vars(sorted: &[cnf::Lit]) -> Vec<u32> {
+    let mut vars: Vec<u32> = sorted.iter().map(|l| l.var().index()).collect();
+    vars.dedup();
+    vars
+}
+
+/// Whether a normalized clause contains some variable in both
+/// polarities.
+pub(crate) fn is_tautology(sorted: &[cnf::Lit]) -> bool {
+    sorted.windows(2).any(|w| w[0].var() == w[1].var())
+}
+
+/// Renders a clause as DIMACS literals, e.g. `(1 -2 3)`.
+pub(crate) fn clause_dimacs(lits: &[cnf::Lit]) -> String {
+    let mut s = String::from("(");
+    for (i, l) in lits.iter().enumerate() {
+        if i > 0 {
+            s.push(' ');
+        }
+        s.push_str(&l.to_dimacs().to_string());
+    }
+    s.push(')');
+    s
 }
 
 /// Escapes `raw` into `out` per the JSON string grammar.

@@ -25,6 +25,28 @@ use std::num::NonZeroI32;
 /// Forwards I/O errors from `r`; *format* problems never error, they
 /// are reported in the returned [`Report`].
 pub fn lint_tracecheck<R: BufRead>(r: R, opts: &LintOptions) -> io::Result<Report> {
+    let (mut report, proof) = read_tracecheck(r, opts)?;
+    if let Some(p) = proof {
+        report.absorb(crate::lint_proof(&p, opts));
+    }
+    Ok(report)
+}
+
+/// Leniently reads a TraceCheck file, reporting file-level defects as
+/// diagnostics. Returns the parsed [`Proof`] when the file level was
+/// clean enough to load (no grammar errors, no bad references), and
+/// `None` otherwise. Unlike [`lint_tracecheck`], the proof-level lint
+/// pass does *not* run — callers that want a [`Proof`] to operate on
+/// (bundle linting, `--fix`) use this entry point.
+///
+/// # Errors
+///
+/// Forwards I/O errors from `r`; *format* problems never error, they
+/// are reported in the returned [`Report`].
+pub fn read_tracecheck<R: BufRead>(
+    r: R,
+    opts: &LintOptions,
+) -> io::Result<(Report, Option<Proof>)> {
     let mut report = Report::new(Artifact::Proof);
     let cap = opts.max_per_lint;
     let mut steps: Vec<(Vec<Lit>, Vec<ClauseId>)> = Vec::new();
@@ -133,7 +155,7 @@ pub fn lint_tracecheck<R: BufRead>(r: R, opts: &LintOptions) -> io::Result<Repor
         }
     }
 
-    if file_ok {
+    let proof = file_ok.then(|| {
         let mut p = Proof::new();
         for (lits, ants) in steps {
             if ants.is_empty() {
@@ -142,9 +164,9 @@ pub fn lint_tracecheck<R: BufRead>(r: R, opts: &LintOptions) -> io::Result<Repor
                 p.add_derived(lits, ants);
             }
         }
-        report.absorb(crate::lint_proof(&p, opts));
-    }
-    Ok(report)
+        p
+    });
+    Ok((report, proof))
 }
 
 #[cfg(test)]

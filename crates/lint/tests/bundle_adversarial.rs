@@ -1,0 +1,150 @@
+//! Adversarial bundle corruptions against real engine artifacts.
+//!
+//! The engine proves a 2-thread (stitched) adder pair; the test then
+//! rebuilds the very bundle `rcec --lint-bundle` assembles — miter
+//! graph, miter CNF, proof, certificate metadata — and injects one
+//! corruption at a time, asserting each maps to its distinct `XB` code
+//! while the pristine bundle lints clean.
+
+use aig::gen;
+use cec::{miter_cnf, CecOptions, CecOutcome, Miter, Prover};
+use cnf::{Cnf, Var};
+use lint::{fix_proof, lint_bundle, Bundle, CertificateInfo, LintOptions};
+use proof::Proof;
+
+struct EngineBundle {
+    graph: aig::Aig,
+    cnf: Cnf,
+    proof: Proof,
+    info: CertificateInfo,
+}
+
+/// One stitched (2-thread) engine run over a 6-bit adder pair, plus the
+/// same bundle reconstruction `rcec --lint-bundle` performs.
+fn engine_bundle() -> EngineBundle {
+    let a = gen::ripple_carry_adder(6);
+    let b = gen::kogge_stone_adder(6);
+    let options = CecOptions {
+        threads: 2,
+        ..CecOptions::default()
+    };
+    let outcome = Prover::new(options).prove(&a, &b).expect("prove");
+    let CecOutcome::Equivalent(cert) = outcome else {
+        panic!("adders are equivalent");
+    };
+    let miter = Miter::build(&a, &b, true);
+    let cnf = miter_cnf(&miter);
+    let info = cert.info();
+    assert!(
+        info.rounds.unwrap() > 0 && !info.stitch_boundaries.is_empty(),
+        "2-thread run must stitch"
+    );
+    EngineBundle {
+        graph: miter.graph,
+        cnf,
+        proof: cert.proof.clone().expect("proof recorded"),
+        info,
+    }
+}
+
+fn lint(b: &EngineBundle, cnf: &Cnf, proof: &Proof, info: &CertificateInfo) -> lint::Report {
+    lint_bundle(
+        &Bundle {
+            aig: Some(&b.graph),
+            cnf: Some(cnf),
+            proof: Some(proof),
+            certificate: Some(info),
+        },
+        &LintOptions::default(),
+    )
+}
+
+#[test]
+fn engine_bundle_corruption_classes_map_to_distinct_codes() {
+    let b = engine_bundle();
+
+    // Pristine: zero errors, zero warnings — every input step binds and
+    // the stitched certificate agrees with the proof.
+    let clean = lint(&b, &b.cnf, &b.proof, &b.info);
+    assert!(clean.is_clean(), "{:?}", clean.diagnostics());
+    assert_eq!(clean.counts().warnings, 0, "{:?}", clean.diagnostics());
+
+    // Corruption 1: flip one literal of a Tseitin gate clause.
+    let mut bad_cnf = b.cnf.clone();
+    let victim = bad_cnf
+        .clauses_mut()
+        .iter_mut()
+        .find(|c| c.len() == 3)
+        .expect("gate clause");
+    victim[0] = !victim[0];
+    let r = lint(&b, &bad_cnf, &b.proof, &b.info);
+    assert!(r.has("XB003"), "{:?}", r.diagnostics());
+
+    // Corruption 2: smuggle a foreign input clause into the proof. Two
+    // primary inputs never share a binary clause in a Tseitin encoding.
+    let mut bad_proof = b.proof.clone();
+    bad_proof.add_original([Var::new(1).positive(), Var::new(2).positive()]);
+    let r = lint(&b, &b.cnf, &bad_proof, &b.info);
+    assert!(r.has("XB005"), "{:?}", r.diagnostics());
+
+    // Corruption 3: certificate pointing at the wrong empty-clause step.
+    let bad_info = CertificateInfo {
+        empty_clause: Some(0),
+        ..b.info.clone()
+    };
+    let r = lint(&b, &b.cnf, &b.proof, &bad_info);
+    assert!(r.has("XB007"), "{:?}", r.diagnostics());
+
+    // All three at once: three distinct XB error codes, as the
+    // acceptance criterion demands.
+    let r = lint(&b, &bad_cnf, &bad_proof, &bad_info);
+    for code in ["XB003", "XB005", "XB007"] {
+        assert!(r.has(code), "missing {code}: {:?}", r.diagnostics());
+    }
+}
+
+#[test]
+fn dropped_stitch_boundary_is_xb008_and_stats_drift_is_xb009() {
+    let b = engine_bundle();
+
+    let mut dropped = b.info.clone();
+    dropped.stitch_boundaries.pop();
+    let r = lint(&b, &b.cnf, &b.proof, &dropped);
+    assert!(r.has("XB008"), "{:?}", r.diagnostics());
+    assert!(!r.has("XB009"), "{:?}", r.diagnostics());
+
+    let drifted = CertificateInfo {
+        resolutions: b.info.resolutions.map(|n| n + 1),
+        ..b.info.clone()
+    };
+    let r = lint(&b, &b.cnf, &b.proof, &drifted);
+    assert!(r.has("XB009"), "{:?}", r.diagnostics());
+    assert!(!r.has("XB008"), "{:?}", r.diagnostics());
+}
+
+#[test]
+fn fix_preserves_engine_refutations() {
+    // Untrimmed engine proofs carry dead steps by construction; --fix's
+    // library core must strip them while keeping the refutation whole.
+    let b = engine_bundle();
+    let fixed = fix_proof(&b.proof);
+    assert!(fixed.changed, "engine proofs are untrimmed");
+    assert!(fixed.proof.len() < b.proof.len());
+    assert!(fixed.proof.empty_clause().is_some());
+    proof::check::check_refutation(&fixed.proof).expect("fixed proof replays");
+
+    let again = fix_proof(&fixed.proof);
+    assert!(!again.changed, "fix must be idempotent");
+
+    // The repaired proof still binds to the engine's CNF: dedup and
+    // trim never invent input clauses.
+    let r = lint_bundle(
+        &Bundle {
+            cnf: Some(&b.cnf),
+            proof: Some(&fixed.proof),
+            ..Bundle::default()
+        },
+        &LintOptions::default(),
+    );
+    assert!(r.is_clean(), "{:?}", r.diagnostics());
+}

@@ -84,6 +84,7 @@ fn lint_zoo(threads: usize) {
         let options = CecOptions {
             threads,
             lint_proof: true,
+            lint_bundle: true,
             ..CecOptions::default()
         };
         let outcome = Prover::new(options)
