@@ -47,6 +47,30 @@ fn main() {
     if want("f3") {
         f3();
     }
+    if want("stats-json") {
+        stats_json();
+    }
+}
+
+/// Machine-readable stats record per suite pair: one JSON Lines row
+/// `{"pair": ..., "stats": <EngineStats::to_json()>}` on stdout, the
+/// same tree as `rcec --stats-json`. Pipe to a file to archive a run.
+fn stats_json() {
+    eprintln!("== stats-json: per-pair machine-readable engine stats =========");
+    for p in suite() {
+        let outcome = cec::Prover::new(cec::CecOptions::default())
+            .prove(&p.a, &p.b)
+            .expect("prove runs");
+        let stats = match &outcome {
+            cec::CecOutcome::Equivalent(cert) => &cert.stats,
+            cec::CecOutcome::Inequivalent { stats, .. } => stats,
+        };
+        let row = obs::json::Value::Object(vec![
+            ("pair".to_string(), obs::json::Value::Str(p.name.clone())),
+            ("stats".to_string(), stats.to_json()),
+        ]);
+        println!("{row}");
+    }
 }
 
 fn t1() {

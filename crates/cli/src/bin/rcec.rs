@@ -5,7 +5,8 @@
 //!      [--no-sweep] [--limit=N] [--threads=N] [--pairs-per-worker=N]
 //!      [--proof=FILE] [--trim] [--lint-proof] [--lint-bundle]
 //!      [--emit-miter=FILE] [--emit-cnf=FILE] [--emit-cert=FILE]
-//!      [--check] [--quiet]
+//!      [--trace-out=FILE] [--trace-chrome=FILE] [--stats-json=FILE]
+//!      [--check] [--verbose] [--quiet]
 //! ```
 //!
 //! `--threads=N` shards the sweeping phase over `N` worker threads with
@@ -29,6 +30,16 @@
 //! emitted certificate describes the trimmed proof (stitch boundaries,
 //! which index the untrimmed stitching layout, are omitted).
 //!
+//! `--trace-out=FILE` writes the run's event journal as JSON Lines
+//! (one object per line); `--trace-chrome=FILE` writes the same events
+//! in Chrome `trace_event` format, loadable in `chrome://tracing` or
+//! Perfetto, with the coordinator and each sweeping worker on its own
+//! timeline row. `--stats-json=FILE` dumps the full machine-readable
+//! stats tree (counters, per-phase wall-clock breakdown, per-SAT-call
+//! conflict and per-lemma chain-length histograms, solver / proof /
+//! lint counters, per-worker stats). `--verbose` prints the phase
+//! breakdown and histograms on stderr.
+//!
 //! `--bdd` uses the canonical-form ROBDD baseline: fastest on small
 //! structured circuits, but produces no proof and may answer UNDECIDED
 //! (exit 2) on diagram blow-up.
@@ -39,7 +50,7 @@
 use cec::bdd_baseline::{prove_bdd, BddOptions, BddVerdict};
 use cec::monolithic::{prove_monolithic, MonolithicOptions};
 use cec::{CecOptions, CecOutcome, Prover};
-use cec_tools::{exit, Args};
+use cec_tools::{exit, trace, Args};
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Write};
 use std::process::ExitCode;
@@ -73,7 +84,11 @@ fn run() -> Result<i32, String> {
             "emit-miter",
             "emit-cnf",
             "emit-cert",
+            "trace-out",
+            "trace-chrome",
+            "stats-json",
             "check",
+            "verbose",
             "quiet",
         ],
     )
@@ -84,7 +99,8 @@ fn run() -> Result<i32, String> {
                     [--no-sweep] [--limit=N] [--threads=N] [--pairs-per-worker=N] \
                     [--proof=FILE] [--trim] [--lint-proof] [--lint-bundle] \
                     [--emit-miter=FILE] [--emit-cnf=FILE] [--emit-cert=FILE] \
-                    [--check] [--quiet]"
+                    [--trace-out=FILE] [--trace-chrome=FILE] [--stats-json=FILE] \
+                    [--check] [--verbose] [--quiet]"
                 .into(),
         );
     }
@@ -97,7 +113,19 @@ fn run() -> Result<i32, String> {
              they cannot combine with --bdd or --monolithic"
             .into());
     }
+    let trace_flags = args.value("trace-out").is_some()
+        || args.value("trace-chrome").is_some()
+        || args.value("stats-json").is_some();
+    if trace_flags && args.has("bdd") {
+        return Err(
+            "--trace-out/--trace-chrome/--stats-json need the SAT-based \
+             engines; they cannot combine with --bdd"
+                .into(),
+        );
+    }
     let quiet = args.has("quiet");
+    let verbose = args.has("verbose");
+    let recorder = trace::recorder_for(&args);
     let read = |path: &str| -> Result<aig::Aig, String> {
         let f = File::open(path).map_err(|e| format!("{path}: {e}"))?;
         aig::aiger::read(BufReader::new(f)).map_err(|e| format!("{path}: {e}"))
@@ -136,6 +164,7 @@ fn run() -> Result<i32, String> {
             &MonolithicOptions {
                 lint_proof: args.has("lint-proof"),
                 verify: args.has("check"),
+                recorder: recorder.clone(),
                 ..MonolithicOptions::default()
             },
         )
@@ -144,6 +173,7 @@ fn run() -> Result<i32, String> {
             lint_proof: args.has("lint-proof"),
             lint_bundle: args.has("lint-bundle"),
             verify: args.has("check"),
+            recorder: recorder.clone(),
             ..CecOptions::default()
         };
         if args.has("no-struct") {
@@ -176,6 +206,22 @@ fn run() -> Result<i32, String> {
         Prover::new(options).prove(&a, &b)
     }
     .map_err(|e| e.to_string())?;
+
+    trace::write_trace_files(&recorder, &args)?;
+    {
+        let stats = match &outcome {
+            CecOutcome::Equivalent(cert) => &cert.stats,
+            CecOutcome::Inequivalent { stats, .. } => stats,
+        };
+        if let Some(path) = args.value("stats-json") {
+            trace::write_json_file(path, &stats.to_json())?;
+        }
+        if verbose {
+            eprintln!("phases: {}", stats.phases);
+            eprintln!("sat-call conflicts: {}", stats.sat_conflict_hist);
+            eprintln!("lemma chain lengths: {}", stats.lemma_chain_hist);
+        }
+    }
 
     match outcome {
         CecOutcome::Equivalent(cert) => {

@@ -3,8 +3,15 @@
 //! ```text
 //! rfraig IN.aag OUT.aag [--binary] [--limit=N] [--threads=N]
 //!        [--pairs-per-worker=N] [--verify] [--lint-proof] [--lint-bundle]
-//!        [--quiet]
+//!        [--trace-out=FILE] [--trace-chrome=FILE] [--stats-json=FILE]
+//!        [--verbose] [--quiet]
 //! ```
+//!
+//! `--trace-out` / `--trace-chrome` / `--stats-json` export the
+//! reduction run's event journal (JSON Lines), Chrome `trace_event`
+//! timeline, and machine-readable stats tree, exactly as in `rcec`;
+//! with `--verify` the trace also covers the verification run.
+//! `--verbose` prints the reduction's phase breakdown and histograms.
 //!
 //! `--threads=N` shards the sweeping phase over `N` worker threads
 //! (deterministic for a given seed and thread count);
@@ -21,8 +28,8 @@
 //!
 //! Exit codes: 0 success, 2 error.
 
-use cec::{reduce, CecOptions, Prover};
-use cec_tools::{exit, Args};
+use cec::{reduce_with_stats, CecOptions, Prover};
+use cec_tools::{exit, trace, Args};
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Write};
 use std::process::ExitCode;
@@ -48,6 +55,10 @@ fn run() -> Result<i32, String> {
             "verify",
             "lint-proof",
             "lint-bundle",
+            "trace-out",
+            "trace-chrome",
+            "stats-json",
+            "verbose",
             "quiet",
         ],
     )
@@ -56,7 +67,8 @@ fn run() -> Result<i32, String> {
         return Err(
             "usage: rfraig IN.aag OUT.aag [--binary] [--limit=N] [--threads=N] \
                     [--pairs-per-worker=N] [--verify] [--lint-proof] [--lint-bundle] \
-                    [--quiet]"
+                    [--trace-out=FILE] [--trace-chrome=FILE] [--stats-json=FILE] \
+                    [--verbose] [--quiet]"
                 .into(),
         );
     }
@@ -65,7 +77,11 @@ fn run() -> Result<i32, String> {
     let f = File::open(in_path).map_err(|e| format!("{in_path}: {e}"))?;
     let input = aig::aiger::read(BufReader::new(f)).map_err(|e| format!("{in_path}: {e}"))?;
 
-    let mut options = CecOptions::default();
+    let recorder = trace::recorder_for(&args);
+    let mut options = CecOptions {
+        recorder: recorder.clone(),
+        ..CecOptions::default()
+    };
     if let Some(v) = args.value("limit") {
         let limit: u64 = v.parse().map_err(|e| format!("--limit: {e}"))?;
         options.pair_conflict_limit = Some(limit);
@@ -84,7 +100,7 @@ fn run() -> Result<i32, String> {
         }
         options.pairs_per_worker = pairs;
     }
-    let reduced = reduce(&input, &options);
+    let (reduced, stats) = reduce_with_stats(&input, &options);
     if !args.has("quiet") {
         eprintln!(
             "reduced {} -> {} AND gates ({:.1}% removed)",
@@ -92,6 +108,14 @@ fn run() -> Result<i32, String> {
             reduced.num_ands(),
             100.0 * (1.0 - reduced.num_ands() as f64 / input.num_ands().max(1) as f64)
         );
+    }
+    if args.has("verbose") {
+        eprintln!("phases: {}", stats.phases);
+        eprintln!("sat-call conflicts: {}", stats.sat_conflict_hist);
+        eprintln!("lemma chain lengths: {}", stats.lemma_chain_hist);
+    }
+    if let Some(path) = args.value("stats-json") {
+        trace::write_json_file(path, &stats.to_json())?;
     }
 
     if args.has("verify") {
@@ -101,6 +125,7 @@ fn run() -> Result<i32, String> {
             lint_bundle: args.has("lint-bundle"),
             threads: options.threads,
             pairs_per_worker: options.pairs_per_worker,
+            recorder: recorder.clone(),
             ..CecOptions::default()
         })
         .prove(&input, &reduced)
@@ -122,6 +147,7 @@ fn run() -> Result<i32, String> {
             eprintln!("verified: reduction is equivalence-preserving (proof checked)");
         }
     }
+    trace::write_trace_files(&recorder, &args)?;
 
     let f = File::create(out_path).map_err(|e| format!("{out_path}: {e}"))?;
     let mut w = BufWriter::new(f);

@@ -1,13 +1,20 @@
 //! `rsat` — proof-logging CDCL SAT solver for DIMACS files.
 //!
 //! ```text
-//! rsat FILE.cnf [--proof=FILE] [--trim] [--quiet]
+//! rsat FILE.cnf [--proof=FILE] [--trim] [--trace-out=FILE]
+//!      [--trace-chrome=FILE] [--stats-json=FILE] [--verbose] [--quiet]
 //! ```
+//!
+//! `--trace-out` / `--trace-chrome` export the solver's restart and
+//! clause-database-reduction events as a JSONL journal / Chrome
+//! `trace_event` file; `--stats-json` dumps the solver counters as
+//! JSON; `--verbose` prints them on stderr.
 //!
 //! Exit codes: 10 SAT (model printed in DIMACS `v` lines), 20 UNSAT,
 //! 2 error.
 
-use cec_tools::{exit, Args};
+use cec_tools::{exit, trace, Args};
+use obs::json::Value;
 use sat::{SolveResult, Solver};
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Write};
@@ -23,26 +30,74 @@ fn main() -> ExitCode {
     }
 }
 
+/// The solver counters as a JSON object (the `--stats-json` payload).
+fn solver_stats_json(s: &sat::SolverStats) -> Value {
+    let members = [
+        ("conflicts", s.conflicts),
+        ("decisions", s.decisions),
+        ("propagations", s.propagations),
+        ("restarts", s.restarts),
+        ("learnt", s.learnt),
+        ("deleted", s.deleted),
+        ("solves", s.solves),
+    ];
+    Value::Object(
+        members
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), Value::U64(v)))
+            .collect(),
+    )
+}
+
 fn run() -> Result<i32, String> {
-    let args = Args::parse(std::env::args().skip(1), &["proof", "trim", "quiet"])
-        .map_err(|e| e.to_string())?;
+    let args = Args::parse(
+        std::env::args().skip(1),
+        &[
+            "proof",
+            "trim",
+            "trace-out",
+            "trace-chrome",
+            "stats-json",
+            "verbose",
+            "quiet",
+        ],
+    )
+    .map_err(|e| e.to_string())?;
     if args.positional.len() != 1 {
-        return Err("usage: rsat FILE.cnf [--proof=FILE] [--trim] [--quiet]".into());
+        return Err(
+            "usage: rsat FILE.cnf [--proof=FILE] [--trim] [--trace-out=FILE] \
+             [--trace-chrome=FILE] [--stats-json=FILE] [--verbose] [--quiet]"
+                .into(),
+        );
     }
     let path = &args.positional[0];
     let f = File::open(path).map_err(|e| format!("{path}: {e}"))?;
     let formula = cnf::dimacs::read(BufReader::new(f)).map_err(|e| format!("{path}: {e}"))?;
 
+    let recorder = trace::recorder_for(&args);
     let mut solver = if args.value("proof").is_some() {
         Solver::with_proof()
     } else {
         Solver::new()
     };
+    solver.set_recorder(recorder.clone(), obs::TID_COORDINATOR);
     solver.ensure_vars(formula.num_vars());
     for clause in formula.clauses() {
         solver.add_clause(clause);
     }
-    match solver.solve() {
+    let result = solver.solve();
+    trace::write_trace_files(&recorder, &args)?;
+    if let Some(out) = args.value("stats-json") {
+        trace::write_json_file(out, &solver_stats_json(solver.stats()))?;
+    }
+    if args.has("verbose") {
+        let s = solver.stats();
+        eprintln!(
+            "conflicts={} decisions={} propagations={} restarts={} learnt={} deleted={}",
+            s.conflicts, s.decisions, s.propagations, s.restarts, s.learnt, s.deleted
+        );
+    }
+    match result {
         SolveResult::Unknown => unreachable!("no budget configured"),
         SolveResult::Sat => {
             println!("s SATISFIABLE");

@@ -73,6 +73,70 @@ impl Args {
     }
 }
 
+/// Shared tracing / metrics plumbing for the tracing-capable tools
+/// (`rcec`, `rfraig`, `rsat`): recorder construction from the common
+/// `--trace-out` / `--trace-chrome` flags and exporter file writing.
+pub mod trace {
+    use crate::Args;
+    use std::fs::File;
+    use std::io::{BufWriter, Write};
+
+    /// Builds the run's recorder: enabled iff an event exporter
+    /// (`--trace-out` or `--trace-chrome`) was requested, so runs
+    /// without those flags pay only the disabled-recorder branch.
+    pub fn recorder_for(args: &Args) -> obs::Recorder {
+        if args.value("trace-out").is_some() || args.value("trace-chrome").is_some() {
+            obs::Recorder::new()
+        } else {
+            obs::Recorder::disabled()
+        }
+    }
+
+    /// Drains `recorder` and writes the exporter files requested on the
+    /// command line: `--trace-out=FILE` (JSONL event journal) and
+    /// `--trace-chrome=FILE` (Chrome `trace_event` array for
+    /// `chrome://tracing` / Perfetto).
+    ///
+    /// # Errors
+    ///
+    /// Reports file-creation or write failures as `path: cause`.
+    pub fn write_trace_files(recorder: &obs::Recorder, args: &Args) -> Result<(), String> {
+        if !recorder.is_enabled() {
+            return Ok(());
+        }
+        let events = recorder.take_events();
+        if let Some(path) = args.value("trace-out") {
+            let f = File::create(path).map_err(|e| format!("{path}: {e}"))?;
+            let mut w = BufWriter::new(f);
+            obs::export::write_jsonl(&events, &mut w)
+                .and_then(|()| w.flush())
+                .map_err(|e| format!("{path}: {e}"))?;
+        }
+        if let Some(path) = args.value("trace-chrome") {
+            let f = File::create(path).map_err(|e| format!("{path}: {e}"))?;
+            let mut w = BufWriter::new(f);
+            obs::export::write_chrome_trace(&events, &mut w)
+                .and_then(|()| w.flush())
+                .map_err(|e| format!("{path}: {e}"))?;
+        }
+        Ok(())
+    }
+
+    /// Writes a JSON value to `path`, newline-terminated (the payload of
+    /// `--stats-json=FILE`).
+    ///
+    /// # Errors
+    ///
+    /// Reports file-creation or write failures as `path: cause`.
+    pub fn write_json_file(path: &str, value: &obs::json::Value) -> Result<(), String> {
+        let f = File::create(path).map_err(|e| format!("{path}: {e}"))?;
+        let mut w = BufWriter::new(f);
+        writeln!(w, "{value}")
+            .and_then(|()| w.flush())
+            .map_err(|e| format!("{path}: {e}"))
+    }
+}
+
 /// Conventional exit codes shared by the tools.
 pub mod exit {
     /// Verdict reached: equivalent / proof accepted.

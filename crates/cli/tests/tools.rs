@@ -717,3 +717,218 @@ fn rcec_bundle_flags_require_sweeping_engine() {
     );
     assert_eq!(out.status.code(), Some(2), "{out:?}");
 }
+
+#[test]
+fn rcec_trace_exporters_and_stats_json() {
+    use obs::json::{parse, Value};
+    let a_path = tmp("tr-a.aag");
+    let b_path = tmp("tr-b.aag");
+    let jsonl_path = tmp("tr.jsonl");
+    let chrome_path = tmp("tr.chrome.json");
+    let stats_path = tmp("tr.stats.json");
+    write_aiger(&aig::gen::ripple_carry_adder(8), &a_path);
+    write_aiger(&aig::gen::kogge_stone_adder(8), &b_path);
+
+    let out = run(
+        env!("CARGO_BIN_EXE_rcec"),
+        &[
+            a_path.to_str().unwrap(),
+            b_path.to_str().unwrap(),
+            "--threads=4",
+            "--check",
+            &format!("--trace-out={}", jsonl_path.display()),
+            &format!("--trace-chrome={}", chrome_path.display()),
+            &format!("--stats-json={}", stats_path.display()),
+            "--verbose",
+        ],
+    );
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("phases:"), "--verbose prints phases: {err}");
+    assert!(err.contains("sat-call conflicts:"), "{err}");
+
+    // JSONL journal: one JSON object per line, schema keys present.
+    let jsonl = fs::read_to_string(&jsonl_path).unwrap();
+    let mut span_lines = 0;
+    for line in jsonl.lines() {
+        let v = parse(line).unwrap_or_else(|e| panic!("bad JSONL line {line:?}: {e}"));
+        for key in ["ts_us", "tid", "kind", "name"] {
+            assert!(v.get(key).is_some(), "JSONL line missing {key}: {line}");
+        }
+        if v.get("kind").and_then(Value::as_str) == Some("span") {
+            assert!(v.get("dur_us").is_some(), "span without dur_us: {line}");
+            span_lines += 1;
+        }
+    }
+    assert!(span_lines > 0, "no span events in journal");
+
+    // Chrome trace: well-formed JSON array, one thread-name metadata row
+    // per worker plus the coordinator, and >= 1 event per worker tid.
+    let chrome = fs::read_to_string(&chrome_path).unwrap();
+    let v = parse(&chrome).expect("chrome trace parses");
+    let events = v.as_array().expect("chrome trace is an array");
+    let names: Vec<&str> = events
+        .iter()
+        .filter(|e| e.get("name").and_then(Value::as_str) == Some("thread_name"))
+        .filter_map(|e| e.get("args")?.get("name")?.as_str())
+        .collect();
+    assert!(names.contains(&"coordinator"), "{names:?}");
+    for w in 0..4 {
+        let label = format!("worker {w}");
+        assert!(names.iter().any(|n| **n == label), "missing row {label}");
+        let tid = w + 1;
+        assert!(
+            events.iter().any(|e| {
+                e.get("ph").and_then(Value::as_str) == Some("X")
+                    && e.get("tid").and_then(Value::as_u64) == Some(tid)
+            }),
+            "no complete event on worker tid {tid}"
+        );
+    }
+
+    // Stats JSON: full tree with phase breakdown; disjoint phases can
+    // never sum past the elapsed wall-clock (a few us of rounding).
+    let stats = parse(&fs::read_to_string(&stats_path).unwrap()).unwrap();
+    let phases = stats.get("phases").expect("phases object");
+    for key in ["miter_us", "sim_us", "sweep_us", "final_solve_us", "sum_us"] {
+        assert!(phases.get(key).is_some(), "missing {key}");
+    }
+    let sum = phases.get("sum_us").and_then(Value::as_u64).unwrap();
+    let elapsed = stats.get("elapsed_us").and_then(Value::as_u64).unwrap();
+    assert!(
+        sum > 0 && sum <= elapsed + 10,
+        "sum={sum} elapsed={elapsed}"
+    );
+    let workers = stats.get("workers").and_then(Value::as_array).unwrap();
+    assert_eq!(workers.len(), 4);
+    assert!(stats.get("sat_conflict_hist").is_some());
+    assert!(stats.get("proof").is_some());
+    assert!(stats.get("check_elapsed_us").is_some());
+
+    for p in [a_path, b_path, jsonl_path, chrome_path, stats_path] {
+        let _ = fs::remove_file(p);
+    }
+}
+
+#[test]
+fn rcec_trace_flags_reject_bdd_mode() {
+    let out = run(
+        env!("CARGO_BIN_EXE_rcec"),
+        &["a", "b", "--bdd", "--stats-json=x"],
+    );
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+}
+
+#[test]
+fn rsat_trace_and_stats_json() {
+    use obs::json::{parse, Value};
+    // Pigeonhole php(8,7): hard enough that the solver restarts, so the
+    // event journal has content.
+    let pigeons = 8;
+    let holes = 7;
+    let var = |p: usize, h: usize| p * holes + h + 1;
+    let mut clauses = Vec::new();
+    for p in 0..pigeons {
+        clauses.push(
+            (0..holes)
+                .map(|h| var(p, h).to_string())
+                .collect::<Vec<_>>()
+                .join(" ")
+                + " 0",
+        );
+    }
+    for h in 0..holes {
+        for p1 in 0..pigeons {
+            for p2 in (p1 + 1)..pigeons {
+                clauses.push(format!("-{} -{} 0", var(p1, h), var(p2, h)));
+            }
+        }
+    }
+    let dimacs = format!(
+        "p cnf {} {}\n{}\n",
+        pigeons * holes,
+        clauses.len(),
+        clauses.join("\n")
+    );
+
+    let cnf_path = tmp("php.cnf");
+    let jsonl_path = tmp("php.jsonl");
+    let stats_path = tmp("php.stats.json");
+    fs::write(&cnf_path, dimacs).unwrap();
+    let out = run(
+        env!("CARGO_BIN_EXE_rsat"),
+        &[
+            cnf_path.to_str().unwrap(),
+            &format!("--trace-out={}", jsonl_path.display()),
+            &format!("--stats-json={}", stats_path.display()),
+            "--verbose",
+            "--quiet",
+        ],
+    );
+    assert_eq!(out.status.code(), Some(20), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("restarts="));
+
+    let jsonl = fs::read_to_string(&jsonl_path).unwrap();
+    let restart_lines = jsonl
+        .lines()
+        .map(|l| parse(l).expect("journal line parses"))
+        .filter(|v| v.get("name").and_then(Value::as_str) == Some("restart"))
+        .count();
+    assert!(restart_lines > 0, "no restart events: {jsonl}");
+
+    let stats = parse(&fs::read_to_string(&stats_path).unwrap()).unwrap();
+    let restarts = stats.get("restarts").and_then(Value::as_u64).unwrap();
+    assert_eq!(restarts as usize, restart_lines);
+    assert!(stats.get("conflicts").and_then(Value::as_u64).unwrap() > 0);
+
+    for p in [cnf_path, jsonl_path, stats_path] {
+        let _ = fs::remove_file(p);
+    }
+}
+
+#[test]
+fn rfraig_trace_and_stats_json() {
+    use obs::json::{parse, Value};
+    let in_path = tmp("fr-tr-in.aag");
+    let out_path = tmp("fr-tr-out.aag");
+    let jsonl_path = tmp("fr-tr.jsonl");
+    let stats_path = tmp("fr-tr.stats.json");
+    // A graph with planted redundancy, so sweeping has work to do.
+    let g = {
+        let base = aig::gen::ripple_carry_adder(6);
+        let m = cec::Miter::build(&base, &aig::gen::kogge_stone_adder(6), false).graph;
+        m.check().unwrap();
+        m
+    };
+    write_aiger(&g, &in_path);
+
+    let out = run(
+        env!("CARGO_BIN_EXE_rfraig"),
+        &[
+            in_path.to_str().unwrap(),
+            out_path.to_str().unwrap(),
+            &format!("--trace-out={}", jsonl_path.display()),
+            &format!("--stats-json={}", stats_path.display()),
+            "--verbose",
+            "--quiet",
+        ],
+    );
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("phases:"));
+
+    let jsonl = fs::read_to_string(&jsonl_path).unwrap();
+    assert!(
+        jsonl
+            .lines()
+            .map(|l| parse(l).expect("journal line parses"))
+            .any(|v| v.get("name").and_then(Value::as_str) == Some("sat_call")),
+        "no sat_call events: {jsonl}"
+    );
+    let stats = parse(&fs::read_to_string(&stats_path).unwrap()).unwrap();
+    assert!(stats.get("sat_calls").and_then(Value::as_u64).unwrap() > 0);
+    assert!(stats.get("phases").is_some());
+
+    for p in [in_path, out_path, jsonl_path, stats_path] {
+        let _ = fs::remove_file(p);
+    }
+}

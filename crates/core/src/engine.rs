@@ -31,6 +31,7 @@ use crate::sim::SimClasses;
 use aig::{Aig, NodeId};
 use cnf::tseitin::Partition;
 use cnf::{Lit, Var};
+use obs::{worker_tid, ArgVal, Recorder, TID_COORDINATOR};
 use proof::{ClauseId, StepRole};
 use sat::{SolveResult, Solver};
 use std::collections::HashMap;
@@ -94,6 +95,13 @@ pub struct CecOptions {
     /// returning, and validate counterexamples by evaluation. Failures
     /// become [`CecError`]s instead of silently wrong verdicts.
     pub verify: bool,
+    /// Trace recorder for the run. The default is
+    /// [`obs::Recorder::disabled`] — no events, near-zero overhead.
+    /// Attach an enabled recorder to capture per-phase spans, per-call
+    /// SAT telemetry, and solver restart / reduce-DB events, then
+    /// export with [`obs::export`]. Parallel workers record on logical
+    /// thread ids `1..=threads`; the coordinator records on `0`.
+    pub recorder: Recorder,
 }
 
 impl Default for CecOptions {
@@ -111,6 +119,7 @@ impl Default for CecOptions {
             lint_proof: false,
             lint_bundle: false,
             verify: false,
+            recorder: Recorder::disabled(),
         }
     }
 }
@@ -167,15 +176,20 @@ impl Prover {
             return Err(CecError::NoOutputs);
         }
         let start = Instant::now();
+        let rec = &self.options.recorder;
         let miter = Miter::build(a, b, self.options.share_structure);
+        let miter_time = start.elapsed();
+        rec.complete("miter", TID_COORDINATOR, start, miter_time);
         // Clause-side labels for interpolation are only meaningful when
         // no logic is shared across the two circuits.
         let boundary = (!self.options.share_structure).then_some(miter.a_boundary);
         let mut sweep = Sweep::new(&miter.graph, &self.options, boundary);
         sweep.stats.miter_nodes = miter.graph.len();
         sweep.stats.circuit_nodes = miter.circuit_nodes;
+        sweep.stats.phases.miter = miter_time;
 
         if self.options.sweep {
+            let sweep_start = Instant::now();
             if self.options.threads > 1 {
                 sweep.run_parallel(self.options.threads);
             } else {
@@ -185,6 +199,10 @@ impl Prover {
                 sweep.run();
                 sweep.solver.set_conflict_budget(None);
             }
+            let sweep_time = sweep_start.elapsed();
+            rec.complete("sweep", TID_COORDINATOR, sweep_start, sweep_time);
+            // Simulation was timed inside run(); keep the phases disjoint.
+            sweep.stats.phases.sweep = sweep_time.saturating_sub(sweep.stats.phases.sim);
         }
 
         // Assert the miter output and ask for the final verdict.
@@ -193,7 +211,15 @@ impl Prover {
         if let (Some(sides), Some(id)) = (&mut sweep.sides, out_id) {
             sides.push((id, Partition::B));
         }
+        let final_start = Instant::now();
         let result = sweep.solver.solve();
+        sweep.stats.phases.final_solve = final_start.elapsed();
+        rec.complete(
+            "final_solve",
+            TID_COORDINATOR,
+            final_start,
+            sweep.stats.phases.final_solve,
+        );
         let mut stats = sweep.finish(start);
 
         match result {
@@ -205,16 +231,20 @@ impl Prover {
                 let mut lint_report = None;
                 if let Some(p) = &proof {
                     stats.proof = Some(p.stats());
-                    let check_start = Instant::now();
                     if self.options.verify {
+                        let check_start = Instant::now();
                         proof::check::check_refutation(p).map_err(CecError::ProofRejected)?;
+                        stats.phases.check = check_start.elapsed();
+                        stats.check_elapsed = Some(stats.phases.check);
+                        rec.complete("check", TID_COORDINATOR, check_start, stats.phases.check);
                     }
+                    let trim_start = Instant::now();
                     let t = proof::trim_refutation(p);
                     stats.trimmed = Some(t.proof.stats());
-                    if self.options.verify {
-                        stats.check_elapsed = Some(check_start.elapsed());
-                    }
+                    stats.phases.trim = trim_start.elapsed();
+                    rec.complete("trim", TID_COORDINATOR, trim_start, stats.phases.trim);
                     if self.options.lint_proof || self.options.lint_bundle {
+                        let lint_start = Instant::now();
                         let lint_opts = lint::LintOptions {
                             expect_refutation: true,
                             stitch_boundaries: stats.stitch_boundaries.clone(),
@@ -245,6 +275,8 @@ impl Prover {
                         }
                         stats.lints = Some(report.counts());
                         lint_report = Some(report);
+                        stats.phases.lint = lint_start.elapsed();
+                        rec.complete("lint", TID_COORDINATOR, lint_start, stats.phases.lint);
                     }
                 }
                 stats.elapsed = start.elapsed();
@@ -322,19 +354,35 @@ impl Prover {
 /// assert_eq!(aig::sim::exhaustive_diff(&g, &reduced, 4), None);
 /// ```
 pub fn reduce(graph: &Aig, options: &CecOptions) -> Aig {
+    reduce_with_stats(graph, options).0
+}
+
+/// [`reduce`] with the sweep's run counters: SAT calls, merges,
+/// refinements, per-phase times, and (in parallel mode) per-worker
+/// stats, exactly as [`Prover::prove`] reports them. The stats'
+/// `elapsed` covers the sweep and the rebuild.
+pub fn reduce_with_stats(graph: &Aig, options: &CecOptions) -> (Aig, EngineStats) {
+    let start = Instant::now();
     let local = CecOptions {
         proof: false,
         verify: false,
         ..options.clone()
     };
+    let rec = &local.recorder;
     let mut sweep = Sweep::new(graph, &local, None);
+    sweep.stats.miter_nodes = graph.len();
+    sweep.stats.circuit_nodes = graph.len();
     if local.sweep {
+        let sweep_start = Instant::now();
         if local.threads > 1 {
             sweep.run_parallel(local.threads);
         } else {
             sweep.solver.set_conflict_budget(local.pair_conflict_limit);
             sweep.run();
         }
+        let sweep_time = sweep_start.elapsed();
+        rec.complete("sweep", TID_COORDINATOR, sweep_start, sweep_time);
+        sweep.stats.phases.sweep = sweep_time.saturating_sub(sweep.stats.phases.sim);
     }
     // Rebuild the graph over representatives.
     let mut out = Aig::with_capacity(graph.len());
@@ -359,7 +407,10 @@ pub fn reduce(graph: &Aig, options: &CecOptions) -> Aig {
         let l = map[o.node().as_usize()].xor_complement(o.is_complemented());
         out.add_output(l);
     }
-    out.cleanup()
+    let reduced = out.cleanup();
+    let mut stats = sweep.finish(start);
+    stats.elapsed = start.elapsed();
+    (reduced, stats)
 }
 
 /// Why a candidate pair could not be merged.
@@ -428,10 +479,20 @@ struct WorkerState {
     /// sync; derived steps are filled by [`proof::Proof::merge_cone`].
     translation: Vec<Option<ClauseId>>,
     proof_mode: bool,
+    /// Trace recorder (shared with the coordinator) and this worker's
+    /// logical thread id in the trace.
+    recorder: Recorder,
+    tid: u32,
 }
 
 impl WorkerState {
-    fn new(proof_mode: bool, num_vars: u32, budget: Option<u64>) -> Self {
+    fn new(
+        proof_mode: bool,
+        num_vars: u32,
+        budget: Option<u64>,
+        recorder: Recorder,
+        tid: u32,
+    ) -> Self {
         let mut solver = if proof_mode {
             Solver::with_proof()
         } else {
@@ -439,10 +500,13 @@ impl WorkerState {
         };
         solver.ensure_vars(num_vars);
         solver.set_conflict_budget(budget);
+        solver.set_recorder(recorder.clone(), tid);
         WorkerState {
             solver,
             translation: Vec::new(),
             proof_mode,
+            recorder,
+            tid,
         }
     }
 
@@ -478,88 +542,136 @@ impl WorkerState {
         shard: &[(usize, NodeId, Lit)],
     ) -> (Vec<(usize, PairVerdict)>, WorkerStats) {
         let start = Instant::now();
+        let mut span = self.recorder.span("worker_round", self.tid);
+        span.arg("pairs", shard.len());
+        span.arg("feed_delta", delta.len());
         let conflicts_before = self.solver.stats().conflicts;
         let mut stats = WorkerStats::default();
         self.sync(me, delta);
         let mut results = Vec::with_capacity(shard.len());
         for &(pair_idx, n, target) in shard {
-            let verdict = worker_prove_pair(
-                &mut self.solver,
-                graph,
-                n,
-                target,
-                self.proof_mode,
-                &mut stats,
-            );
+            let verdict = self.prove_pair(graph, n, target, &mut stats);
             results.push((pair_idx, verdict));
         }
         stats.conflicts = self.solver.stats().conflicts - conflicts_before;
         stats.elapsed = start.elapsed();
         (results, stats)
     }
+
+    /// The worker-side counterpart of [`Sweep::prove_pair`]: two
+    /// incremental SAT calls, committing each proven direction as a
+    /// canonical lemma in the worker's private solver (so later pairs
+    /// of the same shard reuse it).
+    fn prove_pair(
+        &mut self,
+        graph: &Aig,
+        n: NodeId,
+        target: Lit,
+        stats: &mut WorkerStats,
+    ) -> PairVerdict {
+        let vn = Var::new(n.index());
+        stats.sat_calls += 1;
+        match self.traced_solve(&[vn.positive(), !target], n, stats) {
+            SolveResult::Sat => {
+                stats.sat_cex += 1;
+                return PairVerdict::Refuted {
+                    pattern: worker_model_pattern(&self.solver, graph),
+                };
+            }
+            SolveResult::Unknown => return PairVerdict::Skipped,
+            SolveResult::Unsat => stats.sat_unsat += 1,
+        }
+        let fwd = self.commit_lemma(&[vn.negative(), target], stats);
+        stats.sat_calls += 1;
+        match self.traced_solve(&[vn.negative(), target], n, stats) {
+            SolveResult::Sat => {
+                stats.sat_cex += 1;
+                return PairVerdict::Refuted {
+                    pattern: worker_model_pattern(&self.solver, graph),
+                };
+            }
+            SolveResult::Unknown => return PairVerdict::Skipped,
+            SolveResult::Unsat => stats.sat_unsat += 1,
+        }
+        let bwd = self.commit_lemma(&[vn.positive(), !target], stats);
+        stats.merges += 1;
+        PairVerdict::Proved { fwd, bwd }
+    }
+
+    /// One sweeping SAT call with its per-call telemetry (conflict
+    /// histogram always; a `sat_call` span when tracing is enabled).
+    fn traced_solve(
+        &mut self,
+        assumptions: &[Lit],
+        n: NodeId,
+        stats: &mut WorkerStats,
+    ) -> SolveResult {
+        traced_solve(
+            &mut self.solver,
+            assumptions,
+            n,
+            &self.recorder,
+            self.tid,
+            &mut stats.conflict_hist,
+        )
+    }
+
+    /// Commits the worker solver's final conflict clause and derives the
+    /// canonical two-literal lemma by weakening (mirrors
+    /// [`Sweep::commit_lemma`]).
+    fn commit_lemma(&mut self, canonical: &[Lit], stats: &mut WorkerStats) -> Option<ClauseId> {
+        let committed = self.solver.commit_final_clause();
+        stats.lemmas += 1;
+        if self.proof_mode {
+            let id = committed.expect("proof mode final clause id");
+            if let Some(p) = self.solver.proof() {
+                stats
+                    .lemma_chain_hist
+                    .record(p.step(id).antecedents.len() as u64);
+            }
+            let lemma = self.solver.add_derived_clause(canonical, &[id]);
+            self.solver.tag_proof_step(lemma, StepRole::Lemma);
+            Some(lemma)
+        } else {
+            self.solver.add_clause(canonical);
+            None
+        }
+    }
 }
 
-/// The worker-side counterpart of [`Sweep::prove_pair`]: two incremental
-/// SAT calls, committing each proven direction as a canonical lemma in
-/// the worker's private solver (so later pairs of the same shard reuse
-/// it).
-fn worker_prove_pair(
+/// One sweeping SAT call with per-call telemetry: the conflict delta is
+/// always recorded into `conflict_hist` (cheap); a `sat_call` span with
+/// node / verdict / conflict / decision / propagation args is recorded
+/// when tracing is enabled.
+fn traced_solve(
     solver: &mut Solver,
-    graph: &Aig,
+    assumptions: &[Lit],
     n: NodeId,
-    target: Lit,
-    proof_mode: bool,
-    stats: &mut WorkerStats,
-) -> PairVerdict {
-    let vn = Var::new(n.index());
-    stats.sat_calls += 1;
-    match solver.solve_with(&[vn.positive(), !target]) {
-        SolveResult::Sat => {
-            stats.sat_cex += 1;
-            return PairVerdict::Refuted {
-                pattern: worker_model_pattern(solver, graph),
-            };
-        }
-        SolveResult::Unknown => return PairVerdict::Skipped,
-        SolveResult::Unsat => stats.sat_unsat += 1,
+    recorder: &Recorder,
+    tid: u32,
+    conflict_hist: &mut obs::LogHistogram,
+) -> SolveResult {
+    let before = *solver.stats();
+    let mut span = recorder.span("sat_call", tid);
+    let result = solver.solve_with(assumptions);
+    let conflicts = solver.stats().conflicts - before.conflicts;
+    conflict_hist.record(conflicts);
+    if span.is_enabled() {
+        let after = solver.stats();
+        span.arg("node", u64::from(n.index()));
+        span.arg(
+            "verdict",
+            match result {
+                SolveResult::Sat => "sat",
+                SolveResult::Unsat => "unsat",
+                SolveResult::Unknown => "unknown",
+            },
+        );
+        span.arg("conflicts", conflicts);
+        span.arg("decisions", after.decisions - before.decisions);
+        span.arg("propagations", after.propagations - before.propagations);
     }
-    let fwd = worker_commit_lemma(solver, &[vn.negative(), target], proof_mode, stats);
-    stats.sat_calls += 1;
-    match solver.solve_with(&[vn.negative(), target]) {
-        SolveResult::Sat => {
-            stats.sat_cex += 1;
-            return PairVerdict::Refuted {
-                pattern: worker_model_pattern(solver, graph),
-            };
-        }
-        SolveResult::Unknown => return PairVerdict::Skipped,
-        SolveResult::Unsat => stats.sat_unsat += 1,
-    }
-    let bwd = worker_commit_lemma(solver, &[vn.positive(), !target], proof_mode, stats);
-    stats.merges += 1;
-    PairVerdict::Proved { fwd, bwd }
-}
-
-/// Commits the worker solver's final conflict clause and derives the
-/// canonical two-literal lemma by weakening (mirrors
-/// [`Sweep::commit_lemma`]).
-fn worker_commit_lemma(
-    solver: &mut Solver,
-    canonical: &[Lit],
-    proof_mode: bool,
-    stats: &mut WorkerStats,
-) -> Option<ClauseId> {
-    let committed = solver.commit_final_clause();
-    stats.lemmas += 1;
-    if proof_mode {
-        let id = committed.expect("proof mode final clause id");
-        let lemma = solver.add_derived_clause(canonical, &[id]);
-        solver.tag_proof_step(lemma, StepRole::Lemma);
-        Some(lemma)
-    } else {
-        solver.add_clause(canonical);
-        None
-    }
+    result
 }
 
 /// Extracts the input pattern from a worker solver's current model.
@@ -720,14 +832,42 @@ impl<'g> Sweep<'g> {
         (r, lemma)
     }
 
-    fn run(&mut self) {
-        let mut classes = SimClasses::from_random_simulation(
+    /// Seeds the candidate classes by random simulation, timing the
+    /// phase into [`PhaseTimes::sim`](crate::outcome::PhaseTimes::sim).
+    fn simulate_classes(&mut self) -> SimClasses {
+        let sim_start = Instant::now();
+        let classes = SimClasses::from_random_simulation(
             self.graph,
             self.options.sim_words,
             self.options.seed,
         );
+        self.stats.phases.sim = sim_start.elapsed();
+        self.options.recorder.complete(
+            "simulation",
+            TID_COORDINATOR,
+            sim_start,
+            self.stats.phases.sim,
+        );
         self.stats.initial_classes = classes.num_classes();
         self.stats.initial_candidates = classes.num_candidates();
+        classes
+    }
+
+    /// Marks one class refinement in the stats and the trace.
+    fn record_refinement(&mut self, n: NodeId) {
+        self.stats.refinements += 1;
+        self.options.recorder.instant(
+            "refine",
+            TID_COORDINATOR,
+            &[
+                ("node", ArgVal::U64(u64::from(n.index()))),
+                ("refinements", ArgVal::U64(self.stats.refinements)),
+            ],
+        );
+    }
+
+    fn run(&mut self) {
+        let mut classes = self.simulate_classes();
 
         for idx in 1..self.graph.len() {
             let n = NodeId::new(idx as u32);
@@ -757,7 +897,7 @@ impl<'g> Sweep<'g> {
                         break;
                     }
                     Err(PairFailure::Counterexample(pattern)) => {
-                        self.stats.refinements += 1;
+                        self.record_refinement(n);
                         classes.refine_with_pattern(self.graph, &pattern);
                         // The candidate is recomputed; the class of `n`
                         // necessarily split, so this loop terminates.
@@ -810,13 +950,7 @@ impl<'g> Sweep<'g> {
     /// applied refutation either splits a class or was subsumed by an
     /// earlier split this round), so the loop terminates.
     fn run_parallel(&mut self, threads: usize) {
-        let mut classes = SimClasses::from_random_simulation(
-            self.graph,
-            self.options.sim_words,
-            self.options.seed,
-        );
-        self.stats.initial_classes = classes.num_classes();
-        self.stats.initial_candidates = classes.num_candidates();
+        let mut classes = self.simulate_classes();
         self.stats.workers = vec![WorkerStats::default(); threads];
 
         let num_vars = self.solver.num_vars();
@@ -849,7 +983,15 @@ impl<'g> Sweep<'g> {
         // merge phase can read their proofs; they ride along in the job
         // and report of each round.
         let mut states: Vec<Option<WorkerState>> = (0..threads)
-            .map(|_| Some(WorkerState::new(proof_mode, num_vars, budget)))
+            .map(|w| {
+                Some(WorkerState::new(
+                    proof_mode,
+                    num_vars,
+                    budget,
+                    self.options.recorder.clone(),
+                    worker_tid(w),
+                ))
+            })
             .collect();
 
         // The worker threads are spawned once and fed one job per round
@@ -887,6 +1029,7 @@ impl<'g> Sweep<'g> {
             loop {
                 // Phase 1: structural merges over a rebuilt table.
                 if self.options.structural_merging {
+                    let structural_start = Instant::now();
                     self.struct_table.clear();
                     for idx in 1..self.graph.len() {
                         let n = NodeId::new(idx as u32);
@@ -912,6 +1055,12 @@ impl<'g> Sweep<'g> {
                             self.register_structure(n);
                         }
                     }
+                    self.options.recorder.complete(
+                        "structural_pass",
+                        TID_COORDINATOR,
+                        structural_start,
+                        structural_start.elapsed(),
+                    );
                 }
 
                 // Phase 2: collect this round's window of candidate pairs.
@@ -934,6 +1083,9 @@ impl<'g> Sweep<'g> {
                     break;
                 }
                 self.stats.rounds += 1;
+                let mut round_span = self.options.recorder.span("round", TID_COORDINATOR);
+                round_span.arg("round", self.stats.rounds);
+                round_span.arg("pairs", pairs.len());
 
                 // Phase 3: discharge shards on the persistent workers.
                 let delta: std::sync::Arc<[FeedClause]> = feed[synced..].to_vec().into();
@@ -959,6 +1111,7 @@ impl<'g> Sweep<'g> {
                     .collect();
 
                 // Phase 4: merge results in worker-then-discovery order.
+                let stitch_span = self.options.recorder.span("stitch", TID_COORDINATOR);
                 for (w, report) in reports.into_iter().enumerate() {
                     states[w] = Some(report.state);
                     let (results, round_stats) = (report.results, report.stats);
@@ -970,9 +1123,17 @@ impl<'g> Sweep<'g> {
                     ws.merges += round_stats.merges;
                     ws.lemmas += round_stats.lemmas;
                     ws.elapsed += round_stats.elapsed;
+                    ws.conflict_hist.merge(&round_stats.conflict_hist);
+                    ws.lemma_chain_hist.merge(&round_stats.lemma_chain_hist);
                     self.stats.sat_calls += round_stats.sat_calls;
                     self.stats.sat_unsat += round_stats.sat_unsat;
                     self.stats.sat_cex += round_stats.sat_cex;
+                    self.stats
+                        .sat_conflict_hist
+                        .merge(&round_stats.conflict_hist);
+                    self.stats
+                        .lemma_chain_hist
+                        .merge(&round_stats.lemma_chain_hist);
 
                     if proof_mode {
                         let roots: Vec<ClauseId> = results
@@ -1029,7 +1190,7 @@ impl<'g> Sweep<'g> {
                                 classes.remove(n);
                             }
                             PairVerdict::Refuted { pattern } => {
-                                self.stats.refinements += 1;
+                                self.record_refinement(n);
                                 classes.refine_with_pattern(self.graph, &pattern);
                             }
                             PairVerdict::Skipped => {
@@ -1039,6 +1200,7 @@ impl<'g> Sweep<'g> {
                         }
                     }
                 }
+                drop(stitch_span);
                 if let Some(p) = self.solver.proof() {
                     self.stats
                         .stitch_boundaries
@@ -1061,7 +1223,7 @@ impl<'g> Sweep<'g> {
         let vn = Var::new(n.index());
         // v_n ∧ ¬target unsatisfiable?
         self.stats.sat_calls += 1;
-        match self.solver.solve_with(&[vn.positive(), !target]) {
+        match self.traced_solve(&[vn.positive(), !target], n) {
             SolveResult::Sat => {
                 self.stats.sat_cex += 1;
                 return Err(PairFailure::Counterexample(self.model_pattern()));
@@ -1072,7 +1234,7 @@ impl<'g> Sweep<'g> {
         let fwd = self.commit_lemma(&[vn.negative(), target]);
         // ¬v_n ∧ target unsatisfiable?
         self.stats.sat_calls += 1;
-        match self.solver.solve_with(&[vn.negative(), target]) {
+        match self.traced_solve(&[vn.negative(), target], n) {
             SolveResult::Sat => {
                 self.stats.sat_cex += 1;
                 return Err(PairFailure::Counterexample(self.model_pattern()));
@@ -1084,12 +1246,29 @@ impl<'g> Sweep<'g> {
         Ok((fwd, bwd))
     }
 
+    /// One sweeping SAT call with its per-call telemetry.
+    fn traced_solve(&mut self, assumptions: &[Lit], n: NodeId) -> SolveResult {
+        traced_solve(
+            &mut self.solver,
+            assumptions,
+            n,
+            &self.options.recorder,
+            TID_COORDINATOR,
+            &mut self.stats.sat_conflict_hist,
+        )
+    }
+
     /// Commits the solver's final conflict clause and derives the
     /// canonical two-literal lemma form by weakening.
     fn commit_lemma(&mut self, canonical: &[Lit]) -> Option<ClauseId> {
         let committed = self.solver.commit_final_clause();
         if self.options.proof {
             let id = committed.expect("proof mode final clause id");
+            if let Some(p) = self.solver.proof() {
+                self.stats
+                    .lemma_chain_hist
+                    .record(p.step(id).antecedents.len() as u64);
+            }
             let lemma = self.solver.add_derived_clause(canonical, &[id]);
             self.solver.tag_proof_step(lemma, StepRole::Lemma);
             Some(lemma)
@@ -1169,6 +1348,14 @@ impl<'g> Sweep<'g> {
         });
         self.stats.structural_merges += 1;
         self.stats.lemmas += 2;
+        self.options.recorder.instant(
+            "structural_merge",
+            TID_COORDINATOR,
+            &[
+                ("node", ArgVal::U64(u64::from(n.index()))),
+                ("root", ArgVal::U64(u64::from(root.index()))),
+            ],
+        );
         Some(())
     }
 
@@ -1706,5 +1893,61 @@ mod tests {
         let t = proof::trim_refutation(p);
         assert!(t.proof.len() < p.len());
         proof::check::check_refutation(&t.proof).unwrap();
+    }
+
+    #[test]
+    fn recorder_captures_phases_and_worker_tids() {
+        let recorder = Recorder::new();
+        let options = CecOptions {
+            threads: 2,
+            verify: true,
+            lint_proof: true,
+            recorder: recorder.clone(),
+            ..CecOptions::default()
+        };
+        let a = ripple_carry_adder(5);
+        let b = kogge_stone_adder(5);
+        let outcome = prove(&a, &b, options);
+        let cert = outcome.certificate().expect("equivalent");
+
+        let events = recorder.take_events();
+        assert!(!events.is_empty());
+        let names: std::collections::HashSet<&str> = events.iter().map(|e| e.name).collect();
+        for phase in [
+            "miter",
+            "simulation",
+            "sweep",
+            "final_solve",
+            "trim",
+            "check",
+            "lint",
+        ] {
+            assert!(names.contains(phase), "missing phase span {phase}");
+        }
+        // SAT-call spans from both workers, on distinct nonzero tids.
+        let worker_tids: std::collections::HashSet<u32> = events
+            .iter()
+            .filter(|e| e.name == "sat_call" && e.tid != TID_COORDINATOR)
+            .map(|e| e.tid)
+            .collect();
+        assert_eq!(cert.stats.workers.len(), 2);
+        assert!(
+            worker_tids
+                .iter()
+                .all(|&t| t == worker_tid(0) || t == worker_tid(1)),
+            "unexpected worker tids: {worker_tids:?}"
+        );
+
+        // Phase breakdown: disjoint sub-intervals of the run, so the sum
+        // never exceeds the elapsed wall-clock (plus timer noise).
+        let sum = cert.stats.phases.sum();
+        let elapsed = cert.stats.elapsed;
+        assert!(
+            sum <= elapsed + std::time::Duration::from_millis(5),
+            "phase sum {sum:?} exceeds elapsed {elapsed:?}"
+        );
+        // Histograms were fed by the run.
+        assert_eq!(cert.stats.sat_conflict_hist.count(), cert.stats.sat_calls);
+        assert_eq!(cert.stats.lemma_chain_hist.count(), cert.stats.lemmas);
     }
 }

@@ -42,8 +42,11 @@ mod miter;
 pub mod monolithic;
 mod outcome;
 mod sim;
+mod stats_json;
 
-pub use engine::{miter_cnf, reduce, CecOptions, Prover};
+pub use engine::{miter_cnf, reduce, reduce_with_stats, CecOptions, Prover};
 pub use miter::Miter;
-pub use outcome::{CecError, CecOutcome, Certificate, Counterexample, EngineStats, WorkerStats};
+pub use outcome::{
+    CecError, CecOutcome, Certificate, Counterexample, EngineStats, PhaseTimes, WorkerStats,
+};
 pub use sim::SimClasses;

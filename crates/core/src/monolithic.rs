@@ -9,6 +9,7 @@
 use crate::outcome::{CecError, CecOutcome, Certificate, Counterexample, EngineStats};
 use aig::Aig;
 use cnf::tseitin;
+use obs::{Recorder, TID_COORDINATOR};
 use proof::Proof;
 use sat::{SolveResult, Solver, SolverConfig};
 use std::time::Instant;
@@ -23,6 +24,9 @@ pub struct MonolithicOptions {
     pub lint_proof: bool,
     /// Re-check the proof / counterexample before returning.
     pub verify: bool,
+    /// Trace recorder (see [`crate::CecOptions::recorder`]); disabled
+    /// by default.
+    pub recorder: Recorder,
 }
 
 impl Default for MonolithicOptions {
@@ -31,6 +35,7 @@ impl Default for MonolithicOptions {
             proof: true,
             lint_proof: false,
             verify: false,
+            recorder: Recorder::disabled(),
         }
     }
 }
@@ -70,11 +75,13 @@ pub fn prove_monolithic(
         return Err(CecError::NoOutputs);
     }
     let start = Instant::now();
+    let rec = &options.recorder;
     let enc = tseitin::encode_miter(a, b);
     let mut solver = Solver::with_config(SolverConfig {
         proof_logging: options.proof,
         ..SolverConfig::default()
     });
+    solver.set_recorder(rec.clone(), TID_COORDINATOR);
     solver.ensure_vars(enc.cnf.num_vars());
     let mut original_sides = Vec::new();
     for (clause, side) in enc.cnf.clauses().iter().zip(&enc.partition) {
@@ -87,7 +94,17 @@ pub fn prove_monolithic(
         circuit_nodes: a.len() + b.len(),
         ..EngineStats::default()
     };
+    stats.phases.miter = start.elapsed();
+    rec.complete("miter", TID_COORDINATOR, start, stats.phases.miter);
+    let solve_start = Instant::now();
     let result = solver.solve();
+    stats.phases.final_solve = solve_start.elapsed();
+    rec.complete(
+        "final_solve",
+        TID_COORDINATOR,
+        solve_start,
+        stats.phases.final_solve,
+    );
     stats.solver = *solver.stats();
 
     match result {
@@ -98,14 +115,20 @@ pub fn prove_monolithic(
             let mut lint_report = None;
             if let Some(p) = &proof {
                 stats.proof = Some(p.stats());
-                let check_start = Instant::now();
                 if options.verify {
+                    let check_start = Instant::now();
                     proof::check::check_refutation(p).map_err(CecError::ProofRejected)?;
-                    stats.check_elapsed = Some(check_start.elapsed());
+                    stats.phases.check = check_start.elapsed();
+                    stats.check_elapsed = Some(stats.phases.check);
+                    rec.complete("check", TID_COORDINATOR, check_start, stats.phases.check);
                 }
+                let trim_start = Instant::now();
                 let t = proof::trim_refutation(p);
                 stats.trimmed = Some(t.proof.stats());
+                stats.phases.trim = trim_start.elapsed();
+                rec.complete("trim", TID_COORDINATOR, trim_start, stats.phases.trim);
                 if options.lint_proof {
+                    let lint_start = Instant::now();
                     let lint_opts = lint::LintOptions {
                         expect_refutation: true,
                         ..lint::LintOptions::default()
@@ -113,6 +136,8 @@ pub fn prove_monolithic(
                     let report = lint::lint_proof(p, &lint_opts);
                     stats.lints = Some(report.counts());
                     lint_report = Some(report);
+                    stats.phases.lint = lint_start.elapsed();
+                    rec.complete("lint", TID_COORDINATOR, lint_start, stats.phases.lint);
                 }
             }
             stats.elapsed = start.elapsed();

@@ -1,9 +1,56 @@
 //! Results of an equivalence check.
 
+use obs::LogHistogram;
 use proof::{ClauseId, Proof, ProofStats};
 use sat::SolverStats;
 use std::fmt;
 use std::time::Duration;
+
+/// Wall-clock breakdown of one engine run by pipeline phase. Phases are
+/// disjoint (sweeping time excludes the simulation that seeded it), so
+/// the [`PhaseTimes::sum`] accounts for nearly all of
+/// [`EngineStats::elapsed`] — the remainder is verdict assembly.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PhaseTimes {
+    /// Miter construction (or monolithic CNF encoding).
+    pub miter: Duration,
+    /// Random simulation seeding the candidate classes.
+    pub sim: Duration,
+    /// The sweeping loop: structural merges, candidate SAT calls,
+    /// refinements, and (in parallel mode) worker rounds and stitching.
+    pub sweep: Duration,
+    /// The final solve of the asserted miter output.
+    pub final_solve: Duration,
+    /// Backward trimming of the recorded refutation.
+    pub trim: Duration,
+    /// Independent proof checking ([`crate::CecOptions::verify`]).
+    pub check: Duration,
+    /// Proof / bundle lint passes.
+    pub lint: Duration,
+}
+
+impl PhaseTimes {
+    /// Total time attributed to a phase.
+    pub fn sum(&self) -> Duration {
+        self.miter + self.sim + self.sweep + self.final_solve + self.trim + self.check + self.lint
+    }
+}
+
+impl fmt::Display for PhaseTimes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "miter={:.3}s sim={:.3}s sweep={:.3}s final={:.3}s trim={:.3}s check={:.3}s lint={:.3}s",
+            self.miter.as_secs_f64(),
+            self.sim.as_secs_f64(),
+            self.sweep.as_secs_f64(),
+            self.final_solve.as_secs_f64(),
+            self.trim.as_secs_f64(),
+            self.check.as_secs_f64(),
+            self.lint.as_secs_f64()
+        )
+    }
+}
 
 /// Counters for one parallel-sweep worker, aggregated over all rounds
 /// it participated in (see [`crate::CecOptions::threads`]).
@@ -23,6 +70,11 @@ pub struct WorkerStats {
     pub lemmas: u64,
     /// Wall-clock time this worker spent across all rounds.
     pub elapsed: Duration,
+    /// Distribution of CDCL conflicts per sweeping SAT call.
+    pub conflict_hist: LogHistogram,
+    /// Distribution of resolution-chain lengths per committed lemma
+    /// (empty with proof logging off).
+    pub lemma_chain_hist: LogHistogram,
 }
 
 impl fmt::Display for WorkerStats {
@@ -84,6 +136,14 @@ pub struct EngineStats {
     pub elapsed: Duration,
     /// Wall-clock time spent checking the proof, when verification ran.
     pub check_elapsed: Option<Duration>,
+    /// Per-phase wall-clock breakdown of [`EngineStats::elapsed`].
+    pub phases: PhaseTimes,
+    /// Distribution of CDCL conflicts per sweeping SAT call (parallel
+    /// runs merge every worker's histogram in here).
+    pub sat_conflict_hist: LogHistogram,
+    /// Distribution of resolution-chain lengths per committed
+    /// equivalence lemma (empty with proof logging off).
+    pub lemma_chain_hist: LogHistogram,
     /// Proof lengths recorded around the parallel sweep: the length when
     /// the sweep began, then after each round's merge phase. Empty for
     /// sequential runs or with proof logging off. Feeds the lint pass's

@@ -157,6 +157,9 @@ pub struct Solver {
     final_clause: Option<(Vec<Lit>, Option<ClauseId>)>,
     saved_model: Option<Vec<bool>>,
     stats: SolverStats,
+    // Tracing (free when the recorder is disabled, the default):
+    recorder: obs::Recorder,
+    recorder_tid: u32,
 }
 
 impl Default for Solver {
@@ -212,7 +215,17 @@ impl Solver {
             final_clause: None,
             saved_model: None,
             stats: SolverStats::default(),
+            recorder: obs::Recorder::disabled(),
+            recorder_tid: obs::TID_COORDINATOR,
         }
+    }
+
+    /// Attaches a trace recorder; the solver emits `restart` and
+    /// `reduce_db` instant events on logical thread `tid`. The default
+    /// is a disabled recorder (no events, no overhead).
+    pub fn set_recorder(&mut self, recorder: obs::Recorder, tid: u32) {
+        self.recorder = recorder;
+        self.recorder_tid = tid;
     }
 
     /// Whether proof logging is enabled.
@@ -1026,6 +1039,15 @@ impl Solver {
                     restart_count += 1;
                     conflicts_since_restart = 0;
                     budget = self.config.restart_base * luby(restart_count + 1);
+                    self.recorder.instant(
+                        "restart",
+                        self.recorder_tid,
+                        &[
+                            ("restarts", obs::ArgVal::U64(self.stats.restarts)),
+                            ("conflicts", obs::ArgVal::U64(self.stats.conflicts)),
+                            ("next_budget", obs::ArgVal::U64(budget)),
+                        ],
+                    );
                     self.cancel_until(0);
                     continue;
                 }
@@ -1067,7 +1089,6 @@ impl Solver {
                     match next {
                         None => {
                             // All variables assigned: model found.
-                            self.stats.decisions += 0;
                             let model: Vec<bool> = self.value.iter().map(|&v| v == TRUE).collect();
                             self.saved_model = Some(model);
                             self.cancel_until(0);
@@ -1110,6 +1131,14 @@ impl Solver {
             deleted += 1;
             self.stats.deleted += 1;
         }
+        self.recorder.instant(
+            "reduce_db",
+            self.recorder_tid,
+            &[
+                ("deleted", obs::ArgVal::U64(deleted as u64)),
+                ("learnt_live", obs::ArgVal::U64(self.db.num_learnt() as u64)),
+            ],
+        );
     }
 
     fn is_locked(&self, r: ClauseRef) -> bool {
@@ -1390,6 +1419,39 @@ mod tests {
         pigeonhole(&mut s, 6, 5);
         assert_eq!(s.solve(), SolveResult::Unsat);
         assert!(s.stats().restarts > 0, "restarts never fired");
+    }
+
+    #[test]
+    fn restarts_and_learnt_counters_nonzero_on_hard_instance() {
+        // php(8,7) is hard enough that a default-configured solver must
+        // both learn clauses and restart; the telemetry layer depends on
+        // these counters being live.
+        let mut s = Solver::new();
+        pigeonhole(&mut s, 8, 7);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        assert!(s.stats().restarts > 0, "no restarts counted");
+        assert!(s.stats().learnt > 0, "no learnt clauses counted");
+        assert!(s.stats().learnt >= s.stats().restarts);
+    }
+
+    #[test]
+    fn recorder_captures_restart_and_reduce_db_events() {
+        let mut s = Solver::with_config(SolverConfig {
+            restart_base: 2,
+            learnt_size_factor: 0.001,
+            learnt_size_inc: 1.01,
+            ..SolverConfig::default()
+        });
+        let rec = obs::Recorder::new();
+        s.set_recorder(rec.clone(), 5);
+        pigeonhole(&mut s, 7, 6);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        let events = rec.take_events();
+        let restarts = events.iter().filter(|e| e.name == "restart").count();
+        let reductions = events.iter().filter(|e| e.name == "reduce_db").count();
+        assert_eq!(restarts as u64, s.stats().restarts);
+        assert!(reductions > 0, "no reduce_db events");
+        assert!(events.iter().all(|e| e.tid == 5));
     }
 
     #[test]
