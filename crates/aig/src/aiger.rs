@@ -45,6 +45,12 @@ fn format_err<T>(msg: impl Into<String>) -> Result<T, ParseAigerError> {
     Err(ParseAigerError::Format(msg.into()))
 }
 
+/// Largest accepted node count. A header is attacker-controlled input:
+/// without a cap, a five-byte file declaring `M = 4294967295` would make
+/// the reader pre-allocate tens of gigabytes before noticing the body is
+/// missing. 16M nodes comfortably covers real benchmark circuits.
+pub const MAX_NODES: u32 = 1 << 24;
+
 /// Writes `aig` in ASCII AIGER (`aag`) format.
 ///
 /// Latch count is always zero (this crate is combinational only).
@@ -194,8 +200,18 @@ fn read_impl<R: BufRead>(mut r: R, raw: bool) -> Result<Aig, ParseAigerError> {
     if l != 0 {
         return format_err("latches are not supported (combinational subset only)");
     }
-    if m != i + a {
-        return format_err(format!("header inconsistent: M={m} != I+A={}", i + a));
+    // Sum in u64: `i + a` can overflow u32 on a hostile header.
+    if u64::from(m) != u64::from(i) + u64::from(a) {
+        return format_err(format!(
+            "header inconsistent: M={m} != I+A={}",
+            u64::from(i) + u64::from(a)
+        ));
+    }
+    if m > MAX_NODES {
+        return format_err(format!("M={m} exceeds the supported maximum {MAX_NODES}"));
+    }
+    if o > MAX_NODES {
+        return format_err(format!("O={o} exceeds the supported maximum {MAX_NODES}"));
     }
 
     if binary {
@@ -322,16 +338,29 @@ fn build_graph(
     }
     // AND definitions may appear in any order in ASCII files; process
     // iteratively until a fixpoint (files are usually already sorted, so
-    // this is one pass in practice).
+    // this is one pass in practice). `retain` cannot return early, so
+    // defects are captured and raised after the pass.
+    let mut defect: Option<String> = None;
     let mut remaining: Vec<(u32, u32, u32)> = and_defs.to_vec();
     while !remaining.is_empty() {
         let before = remaining.len();
         remaining.retain(|&(lhs, r0, r1)| {
+            if defect.is_some() {
+                return false;
+            }
             let var = lhs / 2;
+            if var == 0 || var > m {
+                defect = Some(format!("and lhs variable {var} outside 1..={m}"));
+                return false;
+            }
             let l0 = map.get(r0 as usize / 2).copied().flatten();
             let l1 = map.get(r1 as usize / 2).copied().flatten();
             match (l0, l1) {
                 (Some(l0), Some(l1)) => {
+                    if map[var as usize].is_some() {
+                        defect = Some(format!("variable {var} defined twice"));
+                        return false;
+                    }
                     let la = l0.xor_complement(r0 % 2 == 1);
                     let lb = l1.xor_complement(r1 % 2 == 1);
                     let gate = if raw {
@@ -345,6 +374,9 @@ fn build_graph(
                 _ => true,
             }
         });
+        if let Some(msg) = defect {
+            return format_err(msg);
+        }
         if remaining.len() == before {
             return format_err("cyclic or dangling and definitions");
         }
@@ -457,5 +489,68 @@ mod tests {
     fn error_display_mentions_cause() {
         let e = ParseAigerError::Format("boom".into());
         assert!(format!("{e}").contains("boom"));
+    }
+
+    #[test]
+    fn rejects_overflowing_header_sum() {
+        // I + A overflows u32; the unhardened reader wrapped and could
+        // accept M = (I + A) mod 2^32.
+        let text = "aag 4294967294 4294967295 0 0 4294967295\n";
+        match read(text.as_bytes()) {
+            Err(ParseAigerError::Format(m)) => assert!(m.contains("inconsistent"), "{m}"),
+            other => panic!("expected format error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_giant_declared_node_count() {
+        // A five-byte body cannot justify a 2^31-node graph; without the
+        // cap this pre-allocated gigabytes before failing.
+        let text = "aag 2147483647 2147483646 0 0 1\n";
+        match read(text.as_bytes()) {
+            Err(ParseAigerError::Format(m)) => assert!(m.contains("maximum"), "{m}"),
+            other => panic!("expected format error, got {other:?}"),
+        }
+        let bin = "aig 2147483647 2147483646 0 0 1\n";
+        assert!(read(bin.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_and_lhs_out_of_range() {
+        // lhs 18 → variable 9 > M = 3: previously an out-of-bounds
+        // index into the variable map (panic).
+        let text = "aag 3 2 0 1 1\n2\n4\n6\n18 2 4\n";
+        match read(text.as_bytes()) {
+            Err(ParseAigerError::Format(m)) => assert!(m.contains("outside"), "{m}"),
+            other => panic!("expected format error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_duplicate_and_definition() {
+        // Node 6 defined twice; previously the second definition
+        // silently overwrote the first.
+        let text = "aag 4 2 0 1 2\n2\n4\n6\n6 2 4\n6 3 5\n";
+        match read(text.as_bytes()) {
+            Err(ParseAigerError::Format(m)) => assert!(m.contains("twice"), "{m}"),
+            other => panic!("expected format error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_and_redefining_an_input() {
+        // Node 1 is declared an input, then redefined as a gate.
+        let text = "aag 3 2 0 1 1\n2\n4\n6\n2 4 6\n";
+        assert!(read(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_truncated_binary_delta() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        for cut in 1..buf.len() {
+            assert!(read(&buf[..cut]).is_err(), "prefix {cut} accepted");
+        }
     }
 }

@@ -1,0 +1,153 @@
+//! Seeded fault injection over artifact bytes.
+//!
+//! Every corruption is a pure function of `(bytes, mode, seed)`, so a
+//! failing seed reproduces exactly — the same discipline the engine
+//! applies to simulation patterns.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// The corruption classes the fault matrix exercises per artifact.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultMode {
+    /// Flip exactly one bit.
+    Flip,
+    /// Flip 2–8 bits at independent positions.
+    MultiFlip,
+    /// Cut the file short (possibly to zero bytes).
+    Truncate,
+}
+
+/// Every fault mode, for matrix iteration.
+pub const FAULT_MODES: &[FaultMode] = &[FaultMode::Flip, FaultMode::MultiFlip, FaultMode::Truncate];
+
+impl FaultMode {
+    /// Parses the CLI spelling (`flip`, `multiflip`, `truncate`).
+    #[must_use]
+    pub fn parse(s: &str) -> Option<FaultMode> {
+        match s {
+            "flip" => Some(FaultMode::Flip),
+            "multiflip" => Some(FaultMode::MultiFlip),
+            "truncate" => Some(FaultMode::Truncate),
+            _ => None,
+        }
+    }
+
+    /// The CLI spelling.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultMode::Flip => "flip",
+            FaultMode::MultiFlip => "multiflip",
+            FaultMode::Truncate => "truncate",
+        }
+    }
+}
+
+impl fmt::Display for FaultMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Corrupts `bytes` in place; returns a human-readable description of
+/// what was done. Guaranteed to change the byte string (an empty input
+/// gains a byte rather than staying empty).
+pub fn corrupt(bytes: &mut Vec<u8>, mode: FaultMode, seed: u64) -> String {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    if bytes.is_empty() {
+        bytes.push(0x01);
+        return "appended 0x01 to empty file".into();
+    }
+    match mode {
+        FaultMode::Flip => {
+            let byte = rng.gen_range(0..bytes.len());
+            let bit = rng.gen_range(0..8u32);
+            bytes[byte] ^= 1 << bit;
+            format!("flipped bit {bit} of byte {byte}")
+        }
+        FaultMode::MultiFlip => {
+            // Distinct (byte, bit) targets: repeating a flip would undo
+            // it, and on tiny files that can cancel back to the
+            // original bytes — which would break the "always changes"
+            // contract the fault matrix relies on.
+            let flips = rng.gen_range(2..=8usize).min(bytes.len() * 8);
+            let mut spots: Vec<(usize, u32)> = Vec::with_capacity(flips);
+            while spots.len() < flips {
+                let spot = (rng.gen_range(0..bytes.len()), rng.gen_range(0..8u32));
+                if !spots.contains(&spot) {
+                    spots.push(spot);
+                }
+            }
+            let mut labels = Vec::with_capacity(flips);
+            for (byte, bit) in spots {
+                bytes[byte] ^= 1 << bit;
+                labels.push(format!("{byte}:{bit}"));
+            }
+            format!("flipped bits at {}", labels.join(", "))
+        }
+        FaultMode::Truncate => {
+            let keep = rng.gen_range(0..bytes.len());
+            bytes.truncate(keep);
+            format!("truncated to {keep} bytes")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corruption_always_changes_the_bytes() {
+        let original: Vec<u8> = (0u8..=255).collect();
+        for mode in FAULT_MODES {
+            for seed in 0..100 {
+                let mut bytes = original.clone();
+                let what = corrupt(&mut bytes, *mode, seed);
+                assert_ne!(bytes, original, "{mode} seed {seed}: {what}");
+            }
+        }
+    }
+
+    #[test]
+    fn corruption_is_deterministic_per_seed() {
+        let original = b"deterministic fault injection".to_vec();
+        for mode in FAULT_MODES {
+            let mut x = original.clone();
+            let mut y = original.clone();
+            let dx = corrupt(&mut x, *mode, 42);
+            let dy = corrupt(&mut y, *mode, 42);
+            assert_eq!(x, y);
+            assert_eq!(dx, dy);
+        }
+    }
+
+    #[test]
+    fn multiflip_changes_even_one_byte_files() {
+        // Repeated flips on the same bit would cancel; the distinct-spot
+        // discipline means even a 1-byte file always ends up different.
+        let original = b"x".to_vec();
+        for seed in 0..200 {
+            let mut b = original.clone();
+            let what = corrupt(&mut b, FaultMode::MultiFlip, seed);
+            assert_ne!(b, original, "seed {seed}: {what}");
+        }
+    }
+
+    #[test]
+    fn empty_input_still_changes() {
+        let mut b = Vec::new();
+        corrupt(&mut b, FaultMode::Truncate, 1);
+        assert!(!b.is_empty());
+    }
+
+    #[test]
+    fn mode_labels_round_trip() {
+        for mode in FAULT_MODES {
+            assert_eq!(FaultMode::parse(mode.label()), Some(*mode));
+        }
+        assert_eq!(FaultMode::parse("warp"), None);
+    }
+}

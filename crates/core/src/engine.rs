@@ -25,12 +25,14 @@
 //! checkable by `proof::check::check_refutation` with no knowledge of
 //! the engine.
 
+use crate::journal::Durable;
 use crate::miter::Miter;
 use crate::outcome::{CecError, CecOutcome, Certificate, Counterexample, EngineStats, WorkerStats};
 use crate::sim::SimClasses;
 use aig::{Aig, NodeId};
 use cnf::tseitin::Partition;
 use cnf::{Lit, Var};
+use obs::json::Value;
 use obs::{worker_tid, ArgVal, Recorder, TID_COORDINATOR};
 use proof::{ClauseId, StepRole};
 use sat::{SolveResult, Solver};
@@ -166,6 +168,25 @@ impl Prover {
     /// [`CecError::ProofRejected`] / [`CecError::BogusCounterexample`]
     /// if the engine's own output fails independent validation.
     pub fn prove(&self, a: &Aig, b: &Aig) -> Result<CecOutcome, CecError> {
+        self.prove_durable(a, b, &mut Durable::disabled())
+    }
+
+    /// [`Prover::prove`] with a [`Durable`] run-state handle: phase
+    /// checkpoints are journaled (or, on resume, validated against the
+    /// journal's prefix) and any armed crash point fires at its phase.
+    /// With [`Durable::disabled`] this is exactly `prove`.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Prover::prove`] reports, plus
+    /// [`CecError::CrashInjected`] / [`CecError::Journal`] /
+    /// [`CecError::ReplayDivergence`] from the durability machinery.
+    pub fn prove_durable(
+        &self,
+        a: &Aig,
+        b: &Aig,
+        durable: &mut Durable,
+    ) -> Result<CecOutcome, CecError> {
         if a.num_inputs() != b.num_inputs() || a.num_outputs() != b.num_outputs() {
             return Err(CecError::InterfaceMismatch {
                 a: (a.num_inputs(), a.num_outputs()),
@@ -180,6 +201,13 @@ impl Prover {
         let miter = Miter::build(a, b, self.options.share_structure);
         let miter_time = start.elapsed();
         rec.complete("miter", TID_COORDINATOR, start, miter_time);
+        durable.checkpoint(
+            "miter",
+            &[
+                ("nodes", Value::U64(miter.graph.len() as u64)),
+                ("output", Value::U64(u64::from(miter.output.raw()))),
+            ],
+        )?;
         // Clause-side labels for interpolation are only meaningful when
         // no logic is shared across the two circuits.
         let boundary = (!self.options.share_structure).then_some(miter.a_boundary);
@@ -191,12 +219,12 @@ impl Prover {
         if self.options.sweep {
             let sweep_start = Instant::now();
             if self.options.threads > 1 {
-                sweep.run_parallel(self.options.threads);
+                sweep.run_parallel(self.options.threads, durable)?;
             } else {
                 sweep
                     .solver
                     .set_conflict_budget(self.options.pair_conflict_limit);
-                sweep.run();
+                sweep.run(durable)?;
                 sweep.solver.set_conflict_budget(None);
             }
             let sweep_time = sweep_start.elapsed();
@@ -220,6 +248,17 @@ impl Prover {
             final_start,
             sweep.stats.phases.final_solve,
         );
+        durable.checkpoint(
+            "final_solve",
+            &[(
+                "result",
+                Value::str(match result {
+                    SolveResult::Sat => "sat",
+                    SolveResult::Unsat => "unsat",
+                    SolveResult::Unknown => "unknown",
+                }),
+            )],
+        )?;
         let mut stats = sweep.finish(start);
 
         match result {
@@ -243,6 +282,7 @@ impl Prover {
                     stats.trimmed = Some(t.proof.stats());
                     stats.phases.trim = trim_start.elapsed();
                     rec.complete("trim", TID_COORDINATOR, trim_start, stats.phases.trim);
+                    durable.checkpoint("trim", &[("steps", Value::U64(t.proof.len() as u64))])?;
                     if self.options.lint_proof || self.options.lint_bundle {
                         let lint_start = Instant::now();
                         let lint_opts = lint::LintOptions {
@@ -279,6 +319,13 @@ impl Prover {
                         rec.complete("lint", TID_COORDINATOR, lint_start, stats.phases.lint);
                     }
                 }
+                let proof_hash = proof.as_ref().map(|p| {
+                    let mut bytes = Vec::new();
+                    proof::export::write_tracecheck(p, &mut bytes)
+                        .expect("write to Vec cannot fail");
+                    obs::hash::fnv1a64_hex(&bytes)
+                });
+                durable.verdict(true, proof_hash.as_deref(), None)?;
                 stats.elapsed = start.elapsed();
                 Ok(CecOutcome::Equivalent(Box::new(Certificate {
                     proof,
@@ -305,6 +352,7 @@ impl Prover {
                 if self.options.verify && counterexample.outputs_a == counterexample.outputs_b {
                     return Err(CecError::BogusCounterexample(counterexample));
                 }
+                durable.verdict(false, None, Some(&counterexample.pattern))?;
                 stats.elapsed = start.elapsed();
                 Ok(CecOutcome::Inequivalent {
                     counterexample,
@@ -374,11 +422,18 @@ pub fn reduce_with_stats(graph: &Aig, options: &CecOptions) -> (Aig, EngineStats
     sweep.stats.circuit_nodes = graph.len();
     if local.sweep {
         let sweep_start = Instant::now();
+        // A disabled durable never journals and never crashes, so the
+        // sweep cannot fail here.
+        let mut durable = Durable::disabled();
         if local.threads > 1 {
-            sweep.run_parallel(local.threads);
+            sweep
+                .run_parallel(local.threads, &mut durable)
+                .expect("disabled durable cannot fail");
         } else {
             sweep.solver.set_conflict_budget(local.pair_conflict_limit);
-            sweep.run();
+            sweep
+                .run(&mut durable)
+                .expect("disabled durable cannot fail");
         }
         let sweep_time = sweep_start.elapsed();
         rec.complete("sweep", TID_COORDINATOR, sweep_start, sweep_time);
@@ -866,8 +921,34 @@ impl<'g> Sweep<'g> {
         );
     }
 
-    fn run(&mut self) {
+    /// Checkpoints the seeded simulation classes.
+    fn sim_checkpoint(&self, classes: &SimClasses, durable: &mut Durable) -> Result<(), CecError> {
+        durable.checkpoint(
+            "sim",
+            &[
+                ("classes", Value::U64(classes.num_classes() as u64)),
+                ("candidates", Value::U64(classes.num_candidates() as u64)),
+            ],
+        )
+    }
+
+    /// Checkpoints the end-of-sweep state shared by both sweep modes.
+    fn sweep_checkpoint(&mut self, durable: &mut Durable) -> Result<(), CecError> {
+        let proof_len = self.solver.proof().map_or(0, |p| p.len() as u64);
+        durable.checkpoint(
+            "sweep",
+            &[
+                ("lemmas", Value::U64(self.stats.lemmas)),
+                ("sat_calls", Value::U64(self.stats.sat_calls)),
+                ("refinements", Value::U64(self.stats.refinements)),
+                ("proof_len", Value::U64(proof_len)),
+            ],
+        )
+    }
+
+    fn run(&mut self, durable: &mut Durable) -> Result<(), CecError> {
         let mut classes = self.simulate_classes();
+        self.sim_checkpoint(&classes, durable)?;
 
         for idx in 1..self.graph.len() {
             let n = NodeId::new(idx as u32);
@@ -913,6 +994,7 @@ impl<'g> Sweep<'g> {
             }
             self.register_structure(n);
         }
+        self.sweep_checkpoint(durable)
     }
 
     /// The round-based parallel sweep.
@@ -949,8 +1031,9 @@ impl<'g> Sweep<'g> {
     /// candidate work (merged/skipped nodes leave their classes; each
     /// applied refutation either splits a class or was subsumed by an
     /// earlier split this round), so the loop terminates.
-    fn run_parallel(&mut self, threads: usize) {
+    fn run_parallel(&mut self, threads: usize, durable: &mut Durable) -> Result<(), CecError> {
         let mut classes = self.simulate_classes();
+        self.sim_checkpoint(&classes, durable)?;
         self.stats.workers = vec![WorkerStats::default(); threads];
 
         let num_vars = self.solver.num_vars();
@@ -995,8 +1078,10 @@ impl<'g> Sweep<'g> {
             .collect();
 
         // The worker threads are spawned once and fed one job per round
-        // (thread creation is far too slow to pay per round).
-        std::thread::scope(|scope| {
+        // (thread creation is far too slow to pay per round). An early
+        // return (injected crash, journal failure) drops the job senders
+        // on the way out, so the scope still joins the workers cleanly.
+        let rounds: Result<(), CecError> = std::thread::scope(|scope| {
             let mut to_worker = Vec::with_capacity(threads);
             let mut from_worker = Vec::with_capacity(threads);
             for w in 0..threads {
@@ -1206,11 +1291,26 @@ impl<'g> Sweep<'g> {
                         .stitch_boundaries
                         .push(u32::try_from(p.len()).expect("proof fits u32 ids"));
                 }
+                let proof_len = self.solver.proof().map_or(0, |p| p.len() as u64);
+                durable.checkpoint(
+                    "round",
+                    &[
+                        ("round", Value::U64(self.stats.rounds)),
+                        ("pairs", Value::U64(pairs.len() as u64)),
+                        ("lemmas", Value::U64(self.stats.lemmas)),
+                        ("refinements", Value::U64(self.stats.refinements)),
+                        ("proof_len", Value::U64(proof_len)),
+                        ("feed_len", Value::U64(feed.len() as u64)),
+                    ],
+                )?;
             }
             // Dropping the job senders ends the worker loops; the scope
             // joins the threads.
             drop(to_worker);
+            Ok(())
         });
+        rounds?;
+        self.sweep_checkpoint(durable)
     }
 
     /// Attempts to prove `v_n ≡ target` with two incremental SAT calls.

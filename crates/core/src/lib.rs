@@ -38,6 +38,7 @@
 
 pub mod bdd_baseline;
 mod engine;
+pub mod journal;
 mod miter;
 pub mod monolithic;
 mod outcome;
@@ -45,6 +46,7 @@ mod sim;
 mod stats_json;
 
 pub use engine::{miter_cnf, reduce, reduce_with_stats, CecOptions, Prover};
+pub use journal::{CrashMode, CrashPoint, Durable};
 pub use miter::Miter;
 pub use outcome::{
     CecError, CecOutcome, Certificate, Counterexample, EngineStats, PhaseTimes, WorkerStats,

@@ -18,6 +18,9 @@
 //! - [`lint_cnf`] / [`lint_aig`] — DIMACS formulas and AIG netlists;
 //! - [`lint_drat`] — a DRAT clausal proof file, optionally checked
 //!   against the formula it refutes;
+//! - [`lint_journal`] — a durability run-state journal (checksummed
+//!   JSONL), triaged leniently so a crashed run's journal reads as
+//!   healthy-but-unfinished while real corruption gets an error;
 //! - [`lint_bundle`] — the *cross-artifact* pass: an AIG, its Tseitin
 //!   CNF, the recorded proof, and the certificate metadata together,
 //!   checking that each layer actually binds to the next.
@@ -28,7 +31,7 @@
 //!
 //! Every lint is registered in [`REGISTRY`] with a stable code (`RPxxx`
 //! for proofs, `CFxxx` for CNF, `AGxxx` for AIG, `XBxxx` for bundles,
-//! `DRxxx` for DRAT files). Codes in the `RP1xx` range perform *chain
+//! `DRxxx` for DRAT files, `JNxxx` for journals). Codes in the `RP1xx` range perform *chain
 //! analysis* — they gather antecedent clause literals — while `RP0xx`
 //! codes are purely structural; the [`LintOptions::chain`] switch
 //! selects between the fast structural pass and the full set (for DRAT
@@ -42,6 +45,7 @@ mod bundle_lints;
 mod cnf_lints;
 mod drat;
 mod fix;
+mod journal_lints;
 mod proof_lints;
 mod trace;
 
@@ -50,6 +54,7 @@ pub use bundle_lints::{lint_bundle, Bundle, CertificateInfo};
 pub use cnf_lints::lint_cnf;
 pub use drat::lint_drat;
 pub use fix::{fix_proof, FixResult, FixSummary};
+pub use journal_lints::lint_journal;
 pub use proof_lints::lint_proof;
 pub use trace::{lint_tracecheck, read_tracecheck};
 
@@ -100,6 +105,8 @@ pub enum Artifact {
     Bundle,
     /// A DRAT clausal proof file.
     Drat,
+    /// A durability run-state journal (checksummed JSONL).
+    Journal,
 }
 
 impl Artifact {
@@ -111,6 +118,7 @@ impl Artifact {
             Artifact::Aig => "aig",
             Artifact::Bundle => "bundle",
             Artifact::Drat => "drat",
+            Artifact::Journal => "journal",
         }
     }
 }
@@ -217,6 +225,10 @@ lints! {
         "the certificate's stitch boundaries are inconsistent with its rounds or the proof");
     XB009 = ("XB009", "certificate-stats", Error, Bundle, false,
         "the certificate's step counts disagree with the proof");
+    XB010 = ("XB010", "artifact-hash", Error, Bundle, false,
+        "a bundle artifact's content hash disagrees with the manifest");
+    XB011 = ("XB011", "manifest", Error, Bundle, false,
+        "the bundle manifest is missing, malformed, or names absent files");
     DR001 = ("DR001", "parse-error", Error, Drat, false,
         "the DRAT file violates the clause-line grammar");
     DR002 = ("DR002", "non-rup-addition", Error, Drat, true,
@@ -227,6 +239,20 @@ lints! {
         "an added clause is already active verbatim (up to literal order)");
     DR005 = ("DR005", "no-refutation", Error, Drat, false,
         "the DRAT file claims to refute but never adds the empty clause");
+    JN001 = ("JN001", "parse-error", Error, Journal, false,
+        "a journal line is not a well-formed record (JSON damage or unknown record type)");
+    JN002 = ("JN002", "checksum-mismatch", Error, Journal, false,
+        "a record's body does not hash to its recorded checksum");
+    JN003 = ("JN003", "sequence-gap", Error, Journal, false,
+        "record sequence numbers are not the dense sequence 0, 1, 2, …");
+    JN004 = ("JN004", "missing-header", Error, Journal, false,
+        "the journal does not begin with a header record");
+    JN005 = ("JN005", "truncated-tail", Warn, Journal, false,
+        "the final line is torn (incomplete write) — consistent with a crash mid-record");
+    JN006 = ("JN006", "no-verdict", Info, Journal, false,
+        "the journal records no verdict — the run has not (yet) completed");
+    JN007 = ("JN007", "duplicate-header", Error, Journal, false,
+        "a header record appears after the first record");
 }
 
 /// Looks up a lint by its stable code (e.g. `"RP101"`).

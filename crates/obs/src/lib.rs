@@ -21,6 +21,10 @@
 //! - [`LogHistogram`]: fixed log-scale (power-of-two) bucket histogram
 //!   for per-call distributions (SAT conflicts per call, proof-chain
 //!   lengths per lemma).
+//! - [`hash`]: FNV-1a 64 content fingerprints for persisted artifacts.
+//! - [`journal`]: a checksummed JSONL write-ahead journal — the
+//!   durability substrate the engine's crash/resume machinery and the
+//!   chaos harness build on.
 //!
 //! # Thread model
 //!
@@ -54,6 +58,8 @@
 #![warn(missing_docs)]
 
 pub mod export;
+pub mod hash;
+pub mod journal;
 pub mod json;
 
 use std::fmt;
