@@ -1,0 +1,41 @@
+use obs::journal::{read_journal_file, JournalWriter};
+use obs::json::Value;
+
+fn body(i: u64) -> Value {
+    Value::Object(vec![
+        ("type".into(), Value::str("checkpoint")),
+        ("round".into(), Value::U64(i)),
+    ])
+}
+
+#[test]
+fn append_after_torn_tail() {
+    let mut p = std::env::temp_dir();
+    p.push(format!("torn-append-{}.journal", std::process::id()));
+    let mut w = JournalWriter::create(&p).unwrap();
+    w.write(&body(0)).unwrap();
+    w.write(&body(1)).unwrap();
+    drop(w);
+    // Simulate crash mid-write of record 2 (no trailing newline).
+    let mut text = std::fs::read_to_string(&p).unwrap();
+    text.push_str("{\"seq\":2,\"crc\":\"dead");
+    std::fs::write(&p, &text).unwrap();
+    let c = read_journal_file(&p).unwrap();
+    assert_eq!(c.records.len(), 2);
+    assert!(c.truncated_tail);
+    // Resume: append at next_seq = 2 (what Durable::resume does).
+    let mut w = JournalWriter::append(&p, c.records.len() as u64).unwrap();
+    w.write(&body(2)).unwrap();
+    w.write(&body(3)).unwrap();
+    drop(w);
+    eprintln!("file now:\n{}", std::fs::read_to_string(&p).unwrap());
+    let res = read_journal_file(&p);
+    let _ = std::fs::remove_file(&p);
+    match res {
+        Ok(c) => {
+            eprintln!("records={} truncated={}", c.records.len(), c.truncated_tail);
+            assert_eq!(c.records.len(), 4, "lost records after torn-tail append");
+        }
+        Err(e) => panic!("journal became unreadable after torn-tail append: {e}"),
+    }
+}
