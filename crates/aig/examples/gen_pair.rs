@@ -1,9 +1,23 @@
-//! Writes an equivalent adder pair (ripple-carry vs Kogge–Stone) as
-//! ASCII AIGER files — used by CI to build a certification corpus.
+//! Writes an equivalent circuit pair as ASCII AIGER files — used by CI
+//! to build certification corpora and mixed-hardness benchmark zoos.
 //!
 //! ```text
-//! cargo run -p aig --example gen_pair -- WIDTH A.aag B.aag
+//! cargo run -p aig --example gen_pair -- WIDTH A.aag B.aag [FAMILY]
 //! ```
+//!
+//! `FAMILY` picks the generator pair (default `adder`):
+//!
+//! | family     | A                      | B                      |
+//! |------------|------------------------|------------------------|
+//! | `adder`    | ripple-carry adder     | Kogge–Stone adder      |
+//! | `bk`       | ripple-carry adder     | Brent–Kung adder       |
+//! | `mul`      | array multiplier       | carry-save multiplier  |
+//! | `parity`   | parity chain           | parity tree            |
+//! | `popcount` | serial popcount        | CSA popcount           |
+//! | `cmp`      | ripple comparator      | subtract comparator    |
+//! | `penc`     | priority encoder chain | one-hot encoder        |
+//! | `dec`      | flat decoder           | split decoder          |
+//! | `shift`    | log barrel shifter     | mux barrel shifter     |
 
 use aig::{aiger, gen, Aig};
 use std::fs::File;
@@ -11,12 +25,40 @@ use std::io::{BufWriter, Write};
 
 fn main() {
     let mut args = std::env::args().skip(1);
-    let usage = "usage: gen_pair WIDTH A.aag B.aag";
+    let usage = "usage: gen_pair WIDTH A.aag B.aag [FAMILY]";
     let width: usize = args.next().expect(usage).parse().expect(usage);
     let a_path = args.next().expect(usage);
     let b_path = args.next().expect(usage);
-    write(&gen::ripple_carry_adder(width), &a_path);
-    write(&gen::kogge_stone_adder(width), &b_path);
+    let family = args.next().unwrap_or_else(|| "adder".into());
+    let (a, b): (Aig, Aig) = match family.as_str() {
+        "adder" => (
+            gen::ripple_carry_adder(width),
+            gen::kogge_stone_adder(width),
+        ),
+        "bk" => (gen::ripple_carry_adder(width), gen::brent_kung_adder(width)),
+        "mul" => (
+            gen::array_multiplier(width),
+            gen::carry_save_multiplier(width),
+        ),
+        "parity" => (gen::parity_chain(width), gen::parity_tree(width)),
+        "popcount" => (gen::popcount_serial(width), gen::popcount_csa(width)),
+        "cmp" => (
+            gen::comparator_ripple(width),
+            gen::comparator_subtract(width),
+        ),
+        "penc" => (
+            gen::priority_encoder_chain(width),
+            gen::priority_encoder_onehot(width),
+        ),
+        "dec" => (gen::decoder_flat(width), gen::decoder_split(width)),
+        "shift" => (
+            gen::barrel_shifter_log(width),
+            gen::barrel_shifter_mux(width),
+        ),
+        other => panic!("unknown family `{other}`\n{usage}"),
+    };
+    write(&a, &a_path);
+    write(&b, &b_path);
 }
 
 fn write(g: &Aig, path: &str) {

@@ -17,19 +17,32 @@ pub enum FaultMode {
     MultiFlip,
     /// Cut the file short (possibly to zero bytes).
     Truncate,
+    /// Tear one *interior* line in half while keeping everything after
+    /// it: the torn-write shape a crashed-then-continued journal writer
+    /// would leave. Unlike [`FaultMode::Truncate`], later records
+    /// survive, so a reader must report mid-file damage as corruption
+    /// rather than a benign truncated tail.
+    TornRecord,
 }
 
 /// Every fault mode, for matrix iteration.
-pub const FAULT_MODES: &[FaultMode] = &[FaultMode::Flip, FaultMode::MultiFlip, FaultMode::Truncate];
+pub const FAULT_MODES: &[FaultMode] = &[
+    FaultMode::Flip,
+    FaultMode::MultiFlip,
+    FaultMode::Truncate,
+    FaultMode::TornRecord,
+];
 
 impl FaultMode {
-    /// Parses the CLI spelling (`flip`, `multiflip`, `truncate`).
+    /// Parses the CLI spelling (`flip`, `multiflip`, `truncate`,
+    /// `torn-record`).
     #[must_use]
     pub fn parse(s: &str) -> Option<FaultMode> {
         match s {
             "flip" => Some(FaultMode::Flip),
             "multiflip" => Some(FaultMode::MultiFlip),
             "truncate" => Some(FaultMode::Truncate),
+            "torn-record" => Some(FaultMode::TornRecord),
             _ => None,
         }
     }
@@ -41,6 +54,7 @@ impl FaultMode {
             FaultMode::Flip => "flip",
             FaultMode::MultiFlip => "multiflip",
             FaultMode::Truncate => "truncate",
+            FaultMode::TornRecord => "torn-record",
         }
     }
 }
@@ -92,6 +106,41 @@ pub fn corrupt(bytes: &mut Vec<u8>, mode: FaultMode, seed: u64) -> String {
             bytes.truncate(keep);
             format!("truncated to {keep} bytes")
         }
+        FaultMode::TornRecord => {
+            // Non-empty lines that are followed by more data: tearing
+            // one of those leaves damage *inside* the file, which a
+            // reader must distinguish from a benignly truncated tail.
+            let mut lines: Vec<(usize, usize)> = Vec::new();
+            let mut start = 0usize;
+            for (i, &b) in bytes.iter().enumerate() {
+                if b == b'\n' {
+                    if i + 1 < bytes.len() && i > start {
+                        lines.push((start, i - start));
+                    }
+                    start = i + 1;
+                }
+            }
+            let torn = if lines.is_empty() {
+                None
+            } else {
+                Some(lines[rng.gen_range(0..lines.len())])
+            };
+            if let Some((ls, ll)) = torn {
+                let keep = rng.gen_range(0..ll);
+                bytes.drain(ls + keep..ls + ll);
+                format!("tore line at byte {ls}: kept {keep} of {ll} bytes, tail preserved")
+            } else if bytes.len() >= 2 {
+                // Single-record file: splice out an interior chunk but
+                // keep the tail, so it still is not a clean truncation.
+                let cut = rng.gen_range(0..bytes.len() - 1);
+                let len = rng.gen_range(1..=bytes.len() - 1 - cut);
+                bytes.drain(cut..cut + len);
+                format!("spliced out {len} bytes at {cut}, tail preserved")
+            } else {
+                bytes.clear();
+                "tore the only byte".into()
+            }
+        }
     }
 }
 
@@ -141,6 +190,80 @@ mod tests {
         let mut b = Vec::new();
         corrupt(&mut b, FaultMode::Truncate, 1);
         assert!(!b.is_empty());
+    }
+
+    #[test]
+    fn torn_record_keeps_the_tail() {
+        // Three journal-shaped lines: the tear must land inside line 1
+        // or 2 and line 3 (and the final newline) must survive, so the
+        // damage is mid-file — not a truncated tail.
+        let original = b"{\"seq\":1}\n{\"seq\":2}\n{\"seq\":3}\n".to_vec();
+        for seed in 0..100 {
+            let mut b = original.clone();
+            let what = corrupt(&mut b, FaultMode::TornRecord, seed);
+            assert_ne!(b, original, "seed {seed}: {what}");
+            assert!(b.len() < original.len(), "a tear removes bytes");
+            assert!(
+                b.ends_with(b"{\"seq\":3}\n"),
+                "seed {seed}: the final record survives the tear ({what})"
+            );
+        }
+    }
+
+    #[test]
+    fn torn_record_on_single_line_still_changes_and_keeps_tail() {
+        let original = b"one single record without newline".to_vec();
+        for seed in 0..50 {
+            let mut b = original.clone();
+            let what = corrupt(&mut b, FaultMode::TornRecord, seed);
+            assert_ne!(b, original, "seed {seed}: {what}");
+            assert_eq!(b.last(), original.last(), "tail byte kept: {what}");
+        }
+    }
+
+    #[test]
+    fn torn_record_inside_a_real_journal_reads_as_corruption() {
+        // The semantic contract behind the mode: a journal reader
+        // forgives a damaged *final* line (crash mid-write,
+        // `truncated_tail`), but a tear that leaves intact records
+        // after it is mid-file damage and must surface as
+        // `JournalError::Corrupt` — never as a benign tail.
+        let mut path = std::env::temp_dir();
+        path.push(format!("chaos-torn-journal-{}.jsonl", std::process::id()));
+        let mut w = obs::journal::JournalWriter::create(&path).unwrap();
+        for i in 0..4u64 {
+            let body = obs::json::Value::Object(vec![("round".into(), obs::json::Value::U64(i))]);
+            w.write(&body).unwrap();
+        }
+        w.sync().unwrap();
+        let pristine = std::fs::read(&path).unwrap();
+        assert!(
+            obs::journal::read_journal(&pristine[..])
+                .unwrap()
+                .records
+                .len()
+                == 4
+        );
+        let mut corrupt_seen = 0u32;
+        for seed in 0..50 {
+            let mut bytes = pristine.clone();
+            let what = corrupt(&mut bytes, FaultMode::TornRecord, seed);
+            match obs::journal::read_journal(&bytes[..]) {
+                Err(obs::journal::JournalError::Corrupt { line, .. }) => {
+                    assert!(line >= 1, "corrupt line is 1-based: {what}");
+                    corrupt_seen += 1;
+                }
+                Err(e) => panic!("seed {seed}: unexpected error {e} ({what})"),
+                Ok(c) => panic!(
+                    "seed {seed}: torn record accepted ({} records, \
+                     truncated_tail={}) after `{what}`",
+                    c.records.len(),
+                    c.truncated_tail
+                ),
+            }
+        }
+        assert_eq!(corrupt_seen, 50, "every tear is mid-file corruption");
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

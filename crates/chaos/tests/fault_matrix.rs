@@ -4,7 +4,8 @@
 //! files, the miter DIMACS, the TraceCheck and DRAT proofs, the
 //! certificate, the run journal, and the manifest itself — this test
 //! applies 100+ seeded corruptions (single bit flips, multi-bit flips,
-//! truncations) and demands the paired checker reject every single one
+//! truncations, torn mid-file records) and demands the paired checker
+//! reject every single one
 //! with a stable `XB` diagnostic code: zero panics, zero false accepts.
 //!
 //! The rejection guarantee is structural: the manifest fingerprints
@@ -21,7 +22,7 @@ use std::fs;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 
-const SEEDS_PER_MODE: u64 = 34; // 3 modes x 34 = 102 corruptions per class
+const SEEDS_PER_MODE: u64 = 26; // 4 modes x 26 = 104 corruptions per class
 
 fn tmp(name: &str) -> PathBuf {
     let mut p = std::env::temp_dir();

@@ -3,6 +3,7 @@
 //! ```text
 //! rcec A.aag B.aag [--monolithic] [--bdd] [--no-struct] [--no-share]
 //!      [--no-sweep] [--limit=N] [--threads=N] [--pairs-per-worker=N]
+//!      [--engine=static|adaptive]
 //!      [--proof=FILE] [--trim] [--lint-proof] [--lint-bundle]
 //!      [--emit-miter=FILE] [--emit-cnf=FILE] [--emit-cert=FILE]
 //!      [--trace-out=FILE] [--trace-chrome=FILE] [--stats-json=FILE]
@@ -12,8 +13,17 @@
 //! `--threads=N` shards the sweeping phase over `N` worker threads with
 //! private incremental solvers; the workers' derivations are stitched
 //! back into one global proof, deterministically for a given seed and
-//! thread count. `--pairs-per-worker=N` sizes each round's window of
-//! candidate pairs per worker (default 8).
+//! thread count. `--pairs-per-worker=N` pins each round's window of
+//! candidate pairs per worker; by default the window is auto-tuned
+//! between rounds from the observed per-worker conflict imbalance.
+//!
+//! `--engine=adaptive` turns on per-pair dispatch driven by the static
+//! hardness analysis (crate `analysis`, also exposed as `ranalyze`):
+//! small easy pairs get a BDD probe first, every sweeping SAT call gets
+//! a conflict budget scaled by the pair's structural score, and
+//! over-budget pairs are deferred to a hard queue retried at the end.
+//! Verdicts and certified proofs are identical to the default static
+//! schedule; per-engine dispatch counts land in `--stats-json`.
 //!
 //! `--lint-proof` runs the static-analysis lint pass over the recorded
 //! proof (including the parallel mode's stitch-boundary consistency
@@ -77,6 +87,7 @@ fn run() -> Result<i32, String> {
             "limit",
             "threads",
             "pairs-per-worker",
+            "engine",
             "proof",
             "trim",
             "lint-proof",
@@ -97,6 +108,7 @@ fn run() -> Result<i32, String> {
         return Err(
             "usage: rcec A.aag B.aag [--monolithic] [--no-struct] [--no-share] \
                     [--no-sweep] [--limit=N] [--threads=N] [--pairs-per-worker=N] \
+                    [--engine=static|adaptive] \
                     [--proof=FILE] [--trim] [--lint-proof] [--lint-bundle] \
                     [--emit-miter=FILE] [--emit-cnf=FILE] [--emit-cert=FILE] \
                     [--trace-out=FILE] [--trace-chrome=FILE] [--stats-json=FILE] \
@@ -201,7 +213,14 @@ fn run() -> Result<i32, String> {
             if pairs == 0 {
                 return Err("--pairs-per-worker: must be at least 1".into());
             }
-            options.pairs_per_worker = pairs;
+            options.pairs_per_worker = Some(pairs);
+        }
+        if let Some(v) = args.value("engine") {
+            options.engine = match v {
+                "static" => cec::EngineSelect::Static,
+                "adaptive" => cec::EngineSelect::Adaptive,
+                other => return Err(format!("--engine: unknown engine '{other}'")),
+            };
         }
         Prover::new(options).prove(&a, &b)
     }

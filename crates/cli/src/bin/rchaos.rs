@@ -5,7 +5,7 @@
 //! rchaos prove   --dir=D [--threads=N] [--seed=N] [--resume]
 //!                [--crash=PHASE[:HIT]] [--abort-at=PHASE[:HIT]]
 //! rchaos check   --dir=D [--fast] [--json]
-//! rchaos corrupt --dir=D --artifact=FILE --mode=flip|multiflip|truncate
+//! rchaos corrupt --dir=D --artifact=FILE --mode=flip|multiflip|truncate|torn-record
 //!                [--seed=N]
 //! rchaos run     --dir=D [--seed=N] [--ops=N] [--threads=N]
 //!                [--crash-every=N] [--keep]
@@ -196,9 +196,9 @@ fn cmd_corrupt(args: &Args) -> Result<i32, String> {
     }
     let mode = args
         .value("mode")
-        .ok_or("missing --mode=flip|multiflip|truncate")?;
+        .ok_or("missing --mode=flip|multiflip|truncate|torn-record")?;
     let mode = FaultMode::parse(mode)
-        .ok_or_else(|| format!("unknown mode `{mode}` (flip|multiflip|truncate)"))?;
+        .ok_or_else(|| format!("unknown mode `{mode}` (flip|multiflip|truncate|torn-record)"))?;
     let seed = parse_u64(args, "seed", 1)?;
     let path = paths.file(artifact);
     let mut bytes = fs::read(&path).map_err(|e| format!("{}: {e}", path.display()))?;

@@ -98,7 +98,7 @@ fn run() -> Result<i32, String> {
         if pairs == 0 {
             return Err("--pairs-per-worker: must be at least 1".into());
         }
-        options.pairs_per_worker = pairs;
+        options.pairs_per_worker = Some(pairs);
     }
     let (reduced, stats) = reduce_with_stats(&input, &options);
     if !args.has("quiet") {

@@ -117,6 +117,11 @@ fn list_registry() {
             "JN",
             "durability run-state journals",
         ),
+        (
+            lint::Artifact::Analysis,
+            "AN",
+            "static hardness analysis (advisory)",
+        ),
     ];
     for (artifact, prefix, what) in families {
         println!("{prefix} — {what}");
@@ -376,6 +381,15 @@ fn bundle_mode(args: &Args, opts: &lint::LintOptions, kinds: &[Kind]) -> Result<
         worst = exit::NEGATIVE;
     }
     print_report(args, "bundle", &report, true)?;
+
+    // Advisory hardness annotations (AN codes) over the bundle's
+    // instance artifacts — the same analysis `ranalyze` runs standalone
+    // and `rcec --engine=adaptive` schedules by. Never affects the exit
+    // code.
+    if bundle.aig.is_some() || bundle.cnf.is_some() {
+        let analysis = analysis::HardnessReport::of(bundle.aig, bundle.cnf);
+        print_report(args, "analysis", &analysis.diagnostics(), true)?;
+    }
     Ok(worst)
 }
 

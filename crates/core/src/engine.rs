@@ -27,7 +27,9 @@
 
 use crate::journal::Durable;
 use crate::miter::Miter;
-use crate::outcome::{CecError, CecOutcome, Certificate, Counterexample, EngineStats, WorkerStats};
+use crate::outcome::{
+    CecError, CecOutcome, Certificate, Counterexample, DispatchStats, EngineStats, WorkerStats,
+};
 use crate::sim::SimClasses;
 use aig::{Aig, NodeId};
 use cnf::tseitin::Partition;
@@ -38,6 +40,27 @@ use proof::{ClauseId, StepRole};
 use sat::{SolveResult, Solver};
 use std::collections::HashMap;
 use std::time::Instant;
+
+/// Which discharge-scheduling policy the sweeping engine uses.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum EngineSelect {
+    /// One engine for every candidate pair: SAT, budgeted uniformly by
+    /// [`CecOptions::pair_conflict_limit`] (or not at all).
+    #[default]
+    Static,
+    /// Per-pair dispatch from static hardness analysis plus the
+    /// observed conflict histogram: easy small-support pairs get a
+    /// cone-bounded BDD probe first (a refutation refines the classes
+    /// with no SAT call; a confirmation unlocks an unbudgeted lemma
+    /// extraction), every SAT call gets a conflict budget scaled by the
+    /// pair's static score, and over-budget pairs are *deferred* to an
+    /// end-of-round hard queue and retried unbudgeted after the main
+    /// sweep instead of stalling a worker. Verdicts and proof
+    /// certification are identical to [`EngineSelect::Static`]: merges
+    /// only ever come from SAT-derived lemmas, and the final miter
+    /// solve is unbudgeted either way.
+    Adaptive,
+}
 
 /// Options controlling a [`Prover`] run.
 #[derive(Clone, Debug)]
@@ -78,7 +101,14 @@ pub struct CecOptions {
     /// lemma clauses — keeping per-pair conflict work near the
     /// sequential level — while a large window forces workers to
     /// re-derive in-flight predecessors from scratch.
-    pub pairs_per_worker: usize,
+    ///
+    /// `None` (the default) auto-tunes the window between rounds from
+    /// the observed per-worker conflict imbalance — a deterministic
+    /// signal, so proofs stay byte-reproducible per (seed, threads).
+    /// `Some(n)` pins the window, preserving the old fixed behavior.
+    pub pairs_per_worker: Option<usize>,
+    /// Discharge-scheduling policy; see [`EngineSelect`].
+    pub engine: EngineSelect,
     /// Record a resolution proof.
     pub proof: bool,
     /// Run the static-analysis lint pass over the recorded proof before
@@ -116,7 +146,8 @@ impl Default for CecOptions {
             sweep: true,
             pair_conflict_limit: None,
             threads: 1,
-            pairs_per_worker: 8,
+            pairs_per_worker: None,
+            engine: EngineSelect::Static,
             proof: true,
             lint_proof: false,
             lint_bundle: false,
@@ -512,7 +543,7 @@ struct FeedClause {
 struct WorkerJob {
     state: WorkerState,
     delta: std::sync::Arc<[FeedClause]>,
-    shard: Vec<(usize, NodeId, Lit)>,
+    shard: Vec<(usize, NodeId, Lit, Dispatch)>,
 }
 
 /// What a worker thread sends back after a round.
@@ -520,6 +551,9 @@ struct WorkerReport {
     state: WorkerState,
     results: Vec<(usize, PairVerdict)>,
     stats: WorkerStats,
+    /// BDD-probe counters of this round (budget counters are recorded
+    /// by the coordinator, which issues the dispatches).
+    dispatch: DispatchStats,
 }
 
 /// A persistent parallel-sweep worker: a private incremental SAT solver
@@ -594,23 +628,59 @@ impl WorkerState {
         me: usize,
         graph: &Aig,
         delta: &[FeedClause],
-        shard: &[(usize, NodeId, Lit)],
-    ) -> (Vec<(usize, PairVerdict)>, WorkerStats) {
+        shard: &[(usize, NodeId, Lit, Dispatch)],
+    ) -> (Vec<(usize, PairVerdict)>, WorkerStats, DispatchStats) {
         let start = Instant::now();
         let mut span = self.recorder.span("worker_round", self.tid);
         span.arg("pairs", shard.len());
         span.arg("feed_delta", delta.len());
         let conflicts_before = self.solver.stats().conflicts;
         let mut stats = WorkerStats::default();
+        let mut dstats = DispatchStats::default();
         self.sync(me, delta);
         let mut results = Vec::with_capacity(shard.len());
-        for &(pair_idx, n, target) in shard {
-            let verdict = self.prove_pair(graph, n, target, &mut stats);
+        for &(pair_idx, n, target, d) in shard {
+            let verdict = self.dispatch_pair(graph, n, target, d, &mut stats, &mut dstats);
             results.push((pair_idx, verdict));
         }
         stats.conflicts = self.solver.stats().conflicts - conflicts_before;
         stats.elapsed = start.elapsed();
-        (results, stats)
+        (results, stats, dstats)
+    }
+
+    /// The worker-side counterpart of [`Sweep::dispatch_pair`]: optional
+    /// BDD probe, per-pair conflict budget, then the SAT proof.
+    fn dispatch_pair(
+        &mut self,
+        graph: &Aig,
+        n: NodeId,
+        target: Lit,
+        d: Dispatch,
+        stats: &mut WorkerStats,
+        dstats: &mut DispatchStats,
+    ) -> PairVerdict {
+        let budget = if d.try_bdd {
+            dstats.bdd_calls += 1;
+            match bdd_probe(graph, n, target, BDD_PROBE_NODE_LIMIT) {
+                BddProbe::Refuted(pattern) => {
+                    dstats.bdd_refuted += 1;
+                    return PairVerdict::Refuted { pattern };
+                }
+                BddProbe::Confirmed => {
+                    dstats.bdd_confirmed += 1;
+                    None
+                }
+                BddProbe::Inconclusive => {
+                    dstats.bdd_overflow += 1;
+                    d.budget
+                }
+            }
+        } else {
+            d.budget
+        };
+        record_budget(dstats, budget);
+        self.solver.set_conflict_budget(budget);
+        self.prove_pair(graph, n, target, stats)
     }
 
     /// The worker-side counterpart of [`Sweep::prove_pair`]: two
@@ -736,6 +806,186 @@ fn worker_model_pattern(solver: &Solver, graph: &Aig) -> Vec<bool> {
         .iter()
         .map(|node| solver.model_value(Var::new(node.index())))
         .collect()
+}
+
+/// How one candidate pair is to be discharged, decided by the
+/// coordinator (the [`AdaptivePolicy`] in adaptive mode, a constant in
+/// static mode) and shipped to workers alongside the pair.
+#[derive(Clone, Copy, Debug)]
+struct Dispatch {
+    /// Conflict budget for this pair's SAT calls (`None` = unbudgeted).
+    budget: Option<u64>,
+    /// Try a cone-bounded BDD probe before SAT.
+    try_bdd: bool,
+}
+
+impl Dispatch {
+    /// Static-mode dispatch: uniform budget, SAT only.
+    fn fixed(budget: Option<u64>) -> Dispatch {
+        Dispatch {
+            budget,
+            try_bdd: false,
+        }
+    }
+}
+
+/// Node limit of a per-pair BDD probe. Probes are gated to small
+/// supports, so this is generous; an overflow just falls back to SAT.
+const BDD_PROBE_NODE_LIMIT: usize = 20_000;
+
+/// Outcome of a cone-bounded BDD probe of one candidate pair.
+enum BddProbe {
+    /// The cones differ; this full-input pattern distinguishes them.
+    /// Sound to refine the classes with — no proof obligation, since
+    /// refinements never enter the proof.
+    Refuted(Vec<bool>),
+    /// The cones are extensionally equal. Advisory only: the merge
+    /// lemma still comes from SAT so the proof stays self-contained.
+    Confirmed,
+    /// Node limit exceeded; decide by SAT.
+    Inconclusive,
+}
+
+/// Probes `v_n ≡ target` by building both cones' BDDs under the natural
+/// cone-input order.
+fn bdd_probe(graph: &Aig, n: NodeId, target: Lit, node_limit: usize) -> BddProbe {
+    let t_lit = NodeId::new(target.var().index()).lit(target.is_negative());
+    let (cone, input_map) = graph.extract_cone(&[n.pos(), t_lit]);
+    let mut mgr = bdd::Manager::new(node_limit);
+    let Ok(outs) = mgr.from_aig(&cone, &bdd::natural_ordering(cone.num_inputs())) else {
+        return BddProbe::Inconclusive;
+    };
+    let (f, g) = (outs[0], outs[1]);
+    if f == g {
+        return BddProbe::Confirmed;
+    }
+    let Ok(diff) = mgr.xor(f, g) else {
+        return BddProbe::Inconclusive;
+    };
+    let Some(assign) = mgr.one_sat(diff) else {
+        // XOR reduced to FALSE: equal after all (distinct refs can only
+        // disagree here if reduction was cut short, which xor() was not).
+        return BddProbe::Confirmed;
+    };
+    // Map the cone assignment back onto the full input vector. Cone
+    // input k is the k-th used original input in ascending order, and
+    // the natural ordering makes BDD level == cone input index.
+    let cone_inputs: Vec<usize> = input_map
+        .iter()
+        .enumerate()
+        .filter_map(|(orig, l)| l.map(|_| orig))
+        .collect();
+    let mut pattern = vec![false; graph.num_inputs()];
+    for (level, value) in assign {
+        pattern[cone_inputs[level as usize]] = value;
+    }
+    BddProbe::Refuted(pattern)
+}
+
+/// Upper edge of the histogram bucket containing quantile `q` of the
+/// recorded values, or `None` for an empty histogram.
+fn hist_quantile(h: &obs::LogHistogram, q: f64) -> Option<u64> {
+    let total = h.count();
+    if total == 0 {
+        return None;
+    }
+    #[allow(clippy::cast_precision_loss, clippy::cast_sign_loss)]
+    let rank = ((total as f64) * q).ceil().max(1.0) as u64;
+    let mut seen = 0u64;
+    for (i, &c) in h.bucket_counts().iter().enumerate() {
+        seen += c;
+        if seen >= rank {
+            // The last bucket is unbounded; the recorded max stands in.
+            return Some(obs::LogHistogram::bucket_hi(i).unwrap_or_else(|| h.max()));
+        }
+    }
+    None
+}
+
+/// The adaptive scheduler: static per-node hardness signals computed
+/// once per miter, combined with the engine's live conflict histogram
+/// to route each candidate pair and size its budget. All inputs are
+/// deterministic (structural features and conflict *counts*, never
+/// wall-clock), so adaptive runs are as reproducible as static ones.
+struct AdaptivePolicy {
+    scores: analysis::NodeScores,
+    /// Explicit user budget; caps adaptive budgets and bounds retries.
+    user_limit: Option<u64>,
+}
+
+impl AdaptivePolicy {
+    /// Budget floor: below this, budgeted and unbudgeted SAT behave
+    /// identically on trivial pairs and the budget is pure overhead.
+    const MIN_BUDGET: u64 = 256;
+    /// Support-size gate for BDD probes.
+    const BDD_SUPPORT_CAP: u32 = 24;
+    /// Observed-cost gate for BDD probes: a probe costs on the order of
+    /// a millisecond, so it only pays when the p95 SAT call is burning
+    /// real conflicts. Below this, SAT alone is already faster.
+    const BDD_CONFLICT_FLOOR: u64 = 128;
+
+    fn new(graph: &Aig, user_limit: Option<u64>) -> (AdaptivePolicy, f64) {
+        let score = analysis::HardnessReport::of_aig(graph).score;
+        (
+            AdaptivePolicy {
+                scores: analysis::NodeScores::compute(graph),
+                user_limit,
+            },
+            score,
+        )
+    }
+
+    /// Routes one candidate pair given the conflicts observed so far.
+    fn dispatch(&self, n: NodeId, root: NodeId, hist: &obs::LogHistogram) -> Dispatch {
+        let score = self.scores.pair_score(n, root);
+        // Scale the budget window to what sweeping calls have actually
+        // cost so far (p95 of the conflict histogram), then spread it
+        // by the pair's static score: easy pairs get cut off early and
+        // deferred, hard pairs get room before joining the hard queue.
+        let p95 = hist_quantile(hist, 0.95);
+        let try_bdd = score <= 0.35
+            && p95.is_some_and(|c| c >= Self::BDD_CONFLICT_FLOOR)
+            && self
+                .scores
+                .pair_support(n, root)
+                .is_some_and(|s| s <= Self::BDD_SUPPORT_CAP);
+        let base = p95.unwrap_or(64).max(32).saturating_mul(8);
+        #[allow(
+            clippy::cast_precision_loss,
+            clippy::cast_sign_loss,
+            clippy::cast_possible_truncation
+        )]
+        let budget = ((base as f64) * (0.25 + 1.75 * score)).ceil() as u64;
+        let budget = budget.max(Self::MIN_BUDGET);
+        let budget = self.user_limit.map_or(budget, |l| budget.min(l));
+        Dispatch {
+            budget: Some(budget),
+            try_bdd,
+        }
+    }
+
+    /// Dispatch for a hard-queue retry: unbudgeted, unless the user set
+    /// an explicit pair limit (which then still bounds the retry).
+    fn retry_dispatch(&self) -> Dispatch {
+        Dispatch {
+            budget: self.user_limit,
+            try_bdd: false,
+        }
+    }
+}
+
+/// Records an issued budget into the dispatch stats' observed range.
+fn record_budget(ds: &mut DispatchStats, budget: Option<u64>) {
+    match budget {
+        Some(b) => {
+            ds.sat_budgeted += 1;
+            if ds.budget_min == 0 || b < ds.budget_min {
+                ds.budget_min = b;
+            }
+            ds.budget_max = ds.budget_max.max(b);
+        }
+        None => ds.sat_unbudgeted += 1,
+    }
 }
 
 /// A node's merge link: `node ≡ parent ^ phase`, with the two lemma
@@ -946,9 +1196,35 @@ impl<'g> Sweep<'g> {
         )
     }
 
+    /// Builds the adaptive policy (and seeds [`EngineStats::dispatch`]
+    /// with the whole-instance hardness score) when adaptive mode is
+    /// selected; `None` in static mode.
+    fn adaptive_policy(&mut self) -> Option<AdaptivePolicy> {
+        if self.options.engine != EngineSelect::Adaptive {
+            return None;
+        }
+        let analysis_start = Instant::now();
+        let (policy, score) = AdaptivePolicy::new(self.graph, self.options.pair_conflict_limit);
+        self.stats.dispatch = Some(DispatchStats {
+            score,
+            ..DispatchStats::default()
+        });
+        self.options.recorder.complete(
+            "analysis",
+            TID_COORDINATOR,
+            analysis_start,
+            analysis_start.elapsed(),
+        );
+        Some(policy)
+    }
+
     fn run(&mut self, durable: &mut Durable) -> Result<(), CecError> {
         let mut classes = self.simulate_classes();
         self.sim_checkpoint(&classes, durable)?;
+        let policy = self.adaptive_policy();
+        // Adaptive hard queue: `(node, root, phase)` pairs whose budget
+        // ran out, retried after the main sweep instead of being lost.
+        let mut deferred: Vec<(NodeId, NodeId, bool)> = Vec::new();
 
         for idx in 1..self.graph.len() {
             let n = NodeId::new(idx as u32);
@@ -960,16 +1236,21 @@ impl<'g> Sweep<'g> {
                     continue;
                 }
             }
-            // SAT sweeping against the class leader.
+            // Sweeping against the class leader.
             while let Some((leader, compl)) = classes.candidate(n) {
                 let (root, pm, _) = self.find(leader);
                 debug_assert!(root < n, "roots precede the node being processed");
-                let target = Var::new(root.index()).lit(pm ^ compl);
-                match self.prove_pair(n, target) {
+                let phase = pm ^ compl;
+                let target = Var::new(root.index()).lit(phase);
+                let dispatch = policy.as_ref().map_or_else(
+                    || Dispatch::fixed(self.options.pair_conflict_limit),
+                    |p| p.dispatch(n, root, &self.stats.sat_conflict_hist),
+                );
+                match self.dispatch_pair(n, target, dispatch) {
                     Ok((fwd, bwd)) => {
                         self.rep[n.as_usize()] = Some(MergeLink {
                             parent: root,
-                            phase: pm ^ compl,
+                            phase,
                             fwd,
                             bwd,
                         });
@@ -985,8 +1266,14 @@ impl<'g> Sweep<'g> {
                     }
                     Err(PairFailure::BudgetExhausted) => {
                         // Sound to leave the pair undecided: the final
-                        // miter solve does not depend on any merge.
-                        self.stats.pairs_skipped += 1;
+                        // miter solve does not depend on any merge. In
+                        // adaptive mode the pair gets one more shot.
+                        if let Some(ds) = self.stats.dispatch.as_mut() {
+                            ds.deferred += 1;
+                            deferred.push((n, root, phase));
+                        } else {
+                            self.stats.pairs_skipped += 1;
+                        }
                         classes.remove(n);
                         break;
                     }
@@ -994,7 +1281,86 @@ impl<'g> Sweep<'g> {
             }
             self.register_structure(n);
         }
+
+        // Hard-queue retries: every merge already committed feeds these
+        // solves as lemma clauses, so the retry usually finishes where
+        // the budgeted attempt could not.
+        if let Some(policy) = &policy {
+            let dispatch = policy.retry_dispatch();
+            for (n, root, phase) in deferred {
+                // The root may itself have merged since; re-resolve.
+                let (r, pm, _) = self.find(root);
+                let phase = pm ^ phase;
+                let target = Var::new(r.index()).lit(phase);
+                if let Some(ds) = self.stats.dispatch.as_mut() {
+                    ds.retried += 1;
+                }
+                match self.dispatch_pair(n, target, dispatch) {
+                    Ok((fwd, bwd)) => {
+                        self.rep[n.as_usize()] = Some(MergeLink {
+                            parent: r,
+                            phase,
+                            fwd,
+                            bwd,
+                        });
+                        self.stats.lemmas += 2;
+                    }
+                    Err(PairFailure::Counterexample(_)) => {
+                        // Genuinely inequivalent; the node already left
+                        // its class, so there is nothing to refine.
+                        self.record_refinement(n);
+                    }
+                    Err(PairFailure::BudgetExhausted) => {
+                        // Only reachable under an explicit user limit.
+                        self.stats.pairs_skipped += 1;
+                    }
+                }
+            }
+        }
         self.sweep_checkpoint(durable)
+    }
+
+    /// Discharges one candidate pair as routed: optional BDD probe,
+    /// per-pair conflict budget, then the two-call SAT proof.
+    fn dispatch_pair(
+        &mut self,
+        n: NodeId,
+        target: Lit,
+        d: Dispatch,
+    ) -> Result<(Option<ClauseId>, Option<ClauseId>), PairFailure> {
+        if d.try_bdd {
+            if let Some(ds) = self.stats.dispatch.as_mut() {
+                ds.bdd_calls += 1;
+            }
+            match bdd_probe(self.graph, n, target, BDD_PROBE_NODE_LIMIT) {
+                BddProbe::Refuted(pattern) => {
+                    if let Some(ds) = self.stats.dispatch.as_mut() {
+                        ds.bdd_refuted += 1;
+                    }
+                    return Err(PairFailure::Counterexample(pattern));
+                }
+                BddProbe::Confirmed => {
+                    // The pair is equivalent; run the lemma extraction
+                    // unbudgeted so the confirmation cannot be wasted.
+                    if let Some(ds) = self.stats.dispatch.as_mut() {
+                        ds.bdd_confirmed += 1;
+                        record_budget(ds, None);
+                    }
+                    self.solver.set_conflict_budget(None);
+                    return self.prove_pair(n, target);
+                }
+                BddProbe::Inconclusive => {
+                    if let Some(ds) = self.stats.dispatch.as_mut() {
+                        ds.bdd_overflow += 1;
+                    }
+                }
+            }
+        }
+        if let Some(ds) = self.stats.dispatch.as_mut() {
+            record_budget(ds, d.budget);
+        }
+        self.solver.set_conflict_budget(d.budget);
+        self.prove_pair(n, target)
     }
 
     /// The round-based parallel sweep.
@@ -1040,7 +1406,11 @@ impl<'g> Sweep<'g> {
         let proof_mode = self.options.proof;
         let budget = self.options.pair_conflict_limit;
         let graph = self.graph;
-        let window = threads * self.options.pairs_per_worker.max(1);
+        let policy = self.adaptive_policy();
+        // Per-worker window: pinned by the flag, else auto-tuned between
+        // rounds from the observed conflict imbalance.
+        let pinned = self.options.pairs_per_worker;
+        let mut per_worker = pinned.unwrap_or(8).max(1);
         if let Some(p) = self.solver.proof() {
             // Anchor of the stitch segments: everything appended between
             // here and the end of the last round is parallel-merge
@@ -1096,12 +1466,13 @@ impl<'g> Sweep<'g> {
                             delta,
                             shard,
                         } = job;
-                        let (results, stats) = state.round(w, graph, &delta, &shard);
+                        let (results, stats, dispatch) = state.round(w, graph, &delta, &shard);
                         if report_tx
                             .send(WorkerReport {
                                 state,
                                 results,
                                 stats,
+                                dispatch,
                             })
                             .is_err()
                         {
@@ -1111,6 +1482,10 @@ impl<'g> Sweep<'g> {
                 });
             }
 
+            // Adaptive hard queue: over-budget pairs wait here and are
+            // retried in dedicated rounds once the candidate classes
+            // run dry.
+            let mut deferred: Vec<(NodeId, NodeId, bool)> = Vec::new();
             loop {
                 // Phase 1: structural merges over a rebuilt table.
                 if self.options.structural_merging {
@@ -1149,6 +1524,7 @@ impl<'g> Sweep<'g> {
                 }
 
                 // Phase 2: collect this round's window of candidate pairs.
+                let window = threads * per_worker;
                 let mut pairs: Vec<(NodeId, NodeId, bool)> = Vec::new();
                 for idx in 1..self.graph.len() {
                     let n = NodeId::new(idx as u32);
@@ -1164,22 +1540,51 @@ impl<'g> Sweep<'g> {
                         }
                     }
                 }
+                // Hard-queue retry rounds: once the classes run dry,
+                // deferred pairs go through the same round machinery,
+                // unbudgeted. Their stored roots may have merged since,
+                // so re-resolve them.
+                let retry_round = pairs.is_empty() && !deferred.is_empty();
+                if retry_round {
+                    let take = deferred.len().min(window.max(1));
+                    for (n, root, phase) in deferred.drain(..take) {
+                        let (r, pm, _) = self.find(root);
+                        pairs.push((n, r, pm ^ phase));
+                    }
+                    if let Some(ds) = self.stats.dispatch.as_mut() {
+                        ds.retried += pairs.len() as u64;
+                    }
+                }
                 if pairs.is_empty() {
                     break;
                 }
                 self.stats.rounds += 1;
+                self.stats.pair_windows.push(per_worker as u32);
                 let mut round_span = self.options.recorder.span("round", TID_COORDINATOR);
                 round_span.arg("round", self.stats.rounds);
                 round_span.arg("pairs", pairs.len());
 
+                // Route every pair before sharding so the decisions see
+                // one consistent conflict-histogram snapshot.
+                let dispatches: Vec<Dispatch> = pairs
+                    .iter()
+                    .map(|&(n, root, _)| match &policy {
+                        Some(p) if retry_round => p.retry_dispatch(),
+                        Some(p) => p.dispatch(n, root, &self.stats.sat_conflict_hist),
+                        None => Dispatch::fixed(budget),
+                    })
+                    .collect();
+
                 // Phase 3: discharge shards on the persistent workers.
                 let delta: std::sync::Arc<[FeedClause]> = feed[synced..].to_vec().into();
                 for (w, job_tx) in to_worker.iter().enumerate() {
-                    let shard: Vec<(usize, NodeId, Lit)> = pairs
+                    let shard: Vec<(usize, NodeId, Lit, Dispatch)> = pairs
                         .iter()
                         .enumerate()
                         .filter(|(i, _)| i % threads == w)
-                        .map(|(i, &(n, root, phase))| (i, n, Var::new(root.index()).lit(phase)))
+                        .map(|(i, &(n, root, phase))| {
+                            (i, n, Var::new(root.index()).lit(phase), dispatches[i])
+                        })
                         .collect();
                     job_tx
                         .send(WorkerJob {
@@ -1197,9 +1602,26 @@ impl<'g> Sweep<'g> {
 
                 // Phase 4: merge results in worker-then-discovery order.
                 let stitch_span = self.options.recorder.span("stitch", TID_COORDINATOR);
+                let mut round_conflicts: Vec<u64> = Vec::with_capacity(threads);
                 for (w, report) in reports.into_iter().enumerate() {
                     states[w] = Some(report.state);
                     let (results, round_stats) = (report.results, report.stats);
+                    round_conflicts.push(round_stats.conflicts);
+                    if let Some(ds) = self.stats.dispatch.as_mut() {
+                        let wd = &report.dispatch;
+                        ds.sat_budgeted += wd.sat_budgeted;
+                        ds.sat_unbudgeted += wd.sat_unbudgeted;
+                        ds.bdd_calls += wd.bdd_calls;
+                        ds.bdd_refuted += wd.bdd_refuted;
+                        ds.bdd_confirmed += wd.bdd_confirmed;
+                        ds.bdd_overflow += wd.bdd_overflow;
+                        if wd.budget_min != 0
+                            && (ds.budget_min == 0 || wd.budget_min < ds.budget_min)
+                        {
+                            ds.budget_min = wd.budget_min;
+                        }
+                        ds.budget_max = ds.budget_max.max(wd.budget_max);
+                    }
                     let ws = &mut self.stats.workers[w];
                     ws.sat_calls += round_stats.sat_calls;
                     ws.sat_unsat += round_stats.sat_unsat;
@@ -1279,13 +1701,40 @@ impl<'g> Sweep<'g> {
                                 classes.refine_with_pattern(self.graph, &pattern);
                             }
                             PairVerdict::Skipped => {
-                                self.stats.pairs_skipped += 1;
+                                if policy.is_some() && !retry_round {
+                                    if let Some(ds) = self.stats.dispatch.as_mut() {
+                                        ds.deferred += 1;
+                                    }
+                                    deferred.push((n, root, phase));
+                                } else {
+                                    self.stats.pairs_skipped += 1;
+                                }
                                 classes.remove(n);
                             }
                         }
                     }
                 }
                 drop(stitch_span);
+
+                // Auto-tune the next round's window from this round's
+                // per-worker conflict imbalance (a deterministic signal):
+                // heavy imbalance → deal finer; balanced → deal coarser.
+                if pinned.is_none() && threads > 1 {
+                    let max = round_conflicts.iter().copied().max().unwrap_or(0);
+                    let min = round_conflicts.iter().copied().min().unwrap_or(0);
+                    let sum: u64 = round_conflicts.iter().sum();
+                    #[allow(clippy::cast_precision_loss)]
+                    let mean = sum as f64 / threads as f64;
+                    if mean > 0.0 {
+                        #[allow(clippy::cast_precision_loss)]
+                        let imbalance = (max - min) as f64 / mean;
+                        if imbalance > 1.0 {
+                            per_worker = (per_worker / 2).max(2);
+                        } else if imbalance < 0.25 {
+                            per_worker = (per_worker * 2).min(64);
+                        }
+                    }
+                }
                 if let Some(p) = self.solver.proof() {
                     self.stats
                         .stitch_boundaries

@@ -138,7 +138,17 @@ fn header_body(options: &CecOptions, a: &Aig, b: &Aig) -> Value {
         ("seed".into(), Value::U64(options.seed)),
         (
             "pairs_per_worker".into(),
-            Value::U64(options.pairs_per_worker as u64),
+            match options.pairs_per_worker {
+                Some(n) => Value::U64(n as u64),
+                None => Value::Null,
+            },
+        ),
+        (
+            "engine".into(),
+            Value::str(match options.engine {
+                crate::EngineSelect::Static => "static",
+                crate::EngineSelect::Adaptive => "adaptive",
+            }),
         ),
         (
             "share_structure".into(),

@@ -45,10 +45,11 @@ mod outcome;
 mod sim;
 mod stats_json;
 
-pub use engine::{miter_cnf, reduce, reduce_with_stats, CecOptions, Prover};
+pub use engine::{miter_cnf, reduce, reduce_with_stats, CecOptions, EngineSelect, Prover};
 pub use journal::{CrashMode, CrashPoint, Durable};
 pub use miter::Miter;
 pub use outcome::{
-    CecError, CecOutcome, Certificate, Counterexample, EngineStats, PhaseTimes, WorkerStats,
+    CecError, CecOutcome, Certificate, Counterexample, DispatchStats, EngineStats, PhaseTimes,
+    WorkerStats,
 };
 pub use sim::SimClasses;

@@ -93,6 +93,58 @@ impl fmt::Display for WorkerStats {
     }
 }
 
+/// Per-engine dispatch counters of the adaptive scheduler (see
+/// [`crate::EngineSelect::Adaptive`]): how candidate pairs were routed
+/// between the BDD probe and budgeted/unbudgeted SAT, and how the
+/// end-of-round hard queue was used. Absent under static scheduling.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct DispatchStats {
+    /// Whole-miter static hardness score in `[0, 1]`.
+    pub score: f64,
+    /// Pairs dispatched to SAT under an adaptive conflict budget.
+    pub sat_budgeted: u64,
+    /// Pairs dispatched to SAT without a budget (BDD-confirmed pairs
+    /// and unbudgeted hard-queue retries).
+    pub sat_unbudgeted: u64,
+    /// Cone-bounded BDD probes attempted.
+    pub bdd_calls: u64,
+    /// Probes that refuted the pair (refinement without a SAT call).
+    pub bdd_refuted: u64,
+    /// Probes that confirmed equivalence (SAT then runs unbudgeted to
+    /// extract the lemma).
+    pub bdd_confirmed: u64,
+    /// Probes abandoned on node-limit overflow.
+    pub bdd_overflow: u64,
+    /// Pairs whose budget ran out, deferred to the hard queue.
+    pub deferred: u64,
+    /// Hard-queue pairs retried after the main sweep.
+    pub retried: u64,
+    /// Smallest conflict budget issued (0 when none were).
+    pub budget_min: u64,
+    /// Largest conflict budget issued.
+    pub budget_max: u64,
+}
+
+impl fmt::Display for DispatchStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "score={:.3} sat={}b/{}u bdd={}({}r/{}c/{}o) deferred={} retried={} budget={}..{}",
+            self.score,
+            self.sat_budgeted,
+            self.sat_unbudgeted,
+            self.bdd_calls,
+            self.bdd_refuted,
+            self.bdd_confirmed,
+            self.bdd_overflow,
+            self.deferred,
+            self.retried,
+            self.budget_min,
+            self.budget_max
+        )
+    }
+}
+
 /// Counters describing one run of the equivalence checker, as printed in
 /// the experiment tables.
 #[derive(Clone, Debug, Default)]
@@ -152,6 +204,14 @@ pub struct EngineStats {
     /// Diagnostic counts from the proof lint pass, when
     /// [`crate::CecOptions::lint_proof`] ran.
     pub lints: Option<lint::LintCounts>,
+    /// Per-engine dispatch counters, present when the adaptive
+    /// scheduler ran (see [`crate::EngineSelect`]).
+    pub dispatch: Option<DispatchStats>,
+    /// Pairs-per-worker window used in each parallel round. With
+    /// auto-tuning ([`crate::CecOptions::pairs_per_worker`] `= None`)
+    /// the trajectory shows the tuner reacting to round imbalance; with
+    /// a fixed override every entry repeats the override.
+    pub pair_windows: Vec<u32>,
 }
 
 impl fmt::Display for EngineStats {

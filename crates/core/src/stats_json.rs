@@ -7,7 +7,7 @@
 //! bench harness. Durations are integer microseconds (`*_us` keys):
 //! lossless, deterministic, and diffable across runs.
 
-use crate::outcome::{EngineStats, PhaseTimes, WorkerStats};
+use crate::outcome::{DispatchStats, EngineStats, PhaseTimes, WorkerStats};
 use obs::json::Value;
 use proof::ProofStats;
 use sat::SolverStats;
@@ -67,6 +67,22 @@ fn lints_json(l: &lint::LintCounts) -> Value {
         ("errors", Value::U64(l.errors as u64)),
         ("warnings", Value::U64(l.warnings as u64)),
         ("infos", Value::U64(l.infos as u64)),
+    ])
+}
+
+fn dispatch_json(d: &DispatchStats) -> Value {
+    obj(vec![
+        ("score", Value::F64(d.score)),
+        ("sat_budgeted", Value::U64(d.sat_budgeted)),
+        ("sat_unbudgeted", Value::U64(d.sat_unbudgeted)),
+        ("bdd_calls", Value::U64(d.bdd_calls)),
+        ("bdd_refuted", Value::U64(d.bdd_refuted)),
+        ("bdd_confirmed", Value::U64(d.bdd_confirmed)),
+        ("bdd_overflow", Value::U64(d.bdd_overflow)),
+        ("deferred", Value::U64(d.deferred)),
+        ("retried", Value::U64(d.retried)),
+        ("budget_min", Value::U64(d.budget_min)),
+        ("budget_max", Value::U64(d.budget_max)),
     ])
 }
 
@@ -141,6 +157,20 @@ impl EngineStats {
         }
         if let Some(l) = &self.lints {
             members.push(("lints", lints_json(l)));
+        }
+        if let Some(d) = &self.dispatch {
+            members.push(("dispatch", dispatch_json(d)));
+        }
+        if !self.pair_windows.is_empty() {
+            members.push((
+                "pair_windows",
+                Value::Array(
+                    self.pair_windows
+                        .iter()
+                        .map(|&w| Value::U64(u64::from(w)))
+                        .collect(),
+                ),
+            ));
         }
         obj(members)
     }

@@ -107,6 +107,10 @@ pub enum Artifact {
     Drat,
     /// A durability run-state journal (checksummed JSONL).
     Journal,
+    /// A static hardness-analysis report over an instance (AIG and/or
+    /// CNF). Analysis lints are advisory scheduling signals, not
+    /// soundness findings.
+    Analysis,
 }
 
 impl Artifact {
@@ -119,6 +123,7 @@ impl Artifact {
             Artifact::Bundle => "bundle",
             Artifact::Drat => "drat",
             Artifact::Journal => "journal",
+            Artifact::Analysis => "analysis",
         }
     }
 }
@@ -253,6 +258,24 @@ lints! {
         "the journal records no verdict — the run has not (yet) completed");
     JN007 = ("JN007", "duplicate-header", Error, Journal, false,
         "a header record appears after the first record");
+    AN001 = ("AN001", "deep-xor-chain", Info, Analysis, false,
+        "a long XOR chain (carry-save / parity reduction structure) dominates a cone");
+    AN002 = ("AN002", "carry-chain", Info, Analysis, false,
+        "a majority/carry chain was detected — adder-like ripple datapath");
+    AN003 = ("AN003", "multiplier-grid", Warn, Analysis, false,
+        "multiplier-like array of full-adder cells — expect hard SAT sweeping");
+    AN004 = ("AN004", "high-fanout", Info, Analysis, false,
+        "a node's fanout is extreme relative to the graph size");
+    AN005 = ("AN005", "wide-frontier", Info, Analysis, false,
+        "the topological cut frontier is wide relative to the circuit size");
+    AN006 = ("AN006", "dense-vig", Info, Analysis, false,
+        "the CNF variable-incidence graph is unusually dense");
+    AN007 = ("AN007", "low-modularity", Info, Analysis, false,
+        "the community-modularity proxy is low — the instance partitions poorly");
+    AN008 = ("AN008", "hard-instance", Warn, Analysis, false,
+        "the combined static hardness score marks this instance as hard");
+    AN009 = ("AN009", "easy-instance", Info, Analysis, false,
+        "the combined static hardness score marks this instance as easy (BDD/structural-friendly)");
 }
 
 /// Looks up a lint by its stable code (e.g. `"RP101"`).

@@ -26,7 +26,7 @@ use crate::hash::fnv1a64_hex;
 use crate::json::{self, Value};
 use std::fmt;
 use std::fs::{File, OpenOptions};
-use std::io::{self, Read, Write};
+use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::Path;
 
 /// One fully validated journal record.
@@ -159,6 +159,32 @@ pub fn read_journal<R: Read>(mut r: R) -> Result<JournalContents, JournalError> 
     })
 }
 
+/// Byte length and record count of the longest intact record prefix:
+/// complete (newline-terminated) lines that parse as records with dense
+/// sequence numbers, blank lines tolerated as [`read_journal`] does.
+/// Everything past the returned offset is damage — at most a torn tail
+/// when the journal was read successfully beforehand.
+fn intact_prefix(bytes: &[u8]) -> (usize, u64) {
+    let mut offset = 0;
+    let mut records = 0u64;
+    while offset < bytes.len() {
+        let Some(nl) = bytes[offset..].iter().position(|&b| b == b'\n') else {
+            break; // unterminated tail — torn mid-write
+        };
+        let Ok(line) = std::str::from_utf8(&bytes[offset..offset + nl]) else {
+            break;
+        };
+        if !line.trim().is_empty() {
+            if parse_line(line, records).is_err() {
+                break;
+            }
+            records += 1;
+        }
+        offset += nl + 1;
+    }
+    (offset, records)
+}
+
 /// Reads and validates the journal file at `path`.
 ///
 /// # Errors
@@ -194,11 +220,35 @@ impl JournalWriter {
     /// Opens `path` for appending, continuing at `next_seq` (the record
     /// count of the validated existing contents).
     ///
+    /// A crash can leave a torn final line; appending straight after it
+    /// would fuse the first new record onto the damaged partial and turn
+    /// benign tail damage into mid-file corruption. The file is first
+    /// truncated back to the end of its intact record prefix — the same
+    /// prefix [`read_journal`] returns — so the torn tail is dropped
+    /// exactly once, at resume time.
+    ///
     /// # Errors
     ///
-    /// Forwards file-open failures.
+    /// Forwards file-open failures. Returns [`io::ErrorKind::InvalidData`]
+    /// when the intact prefix does not hold exactly `next_seq` records —
+    /// the caller's view of the journal (normally from [`read_journal`])
+    /// disagrees with the file, and truncating on a stale view could
+    /// destroy acknowledged records.
     pub fn append(path: &Path, next_seq: u64) -> io::Result<JournalWriter> {
-        let file = OpenOptions::new().append(true).open(path)?;
+        let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+        let (keep, intact) = intact_prefix(&bytes);
+        if intact != next_seq {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("journal holds {intact} intact records, caller expected {next_seq}"),
+            ));
+        }
+        if keep < bytes.len() {
+            file.set_len(keep as u64)?;
+        }
+        file.seek(SeekFrom::Start(keep as u64))?;
         Ok(JournalWriter { file, next_seq })
     }
 
@@ -297,6 +347,43 @@ mod tests {
         let c = read_journal_file(&path).unwrap();
         assert_eq!(c.records.len(), 2);
         assert!(c.truncated_tail);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn append_after_torn_tail_drops_the_tail() {
+        let path = tmp("torn-append.journal");
+        let mut w = JournalWriter::create(&path).unwrap();
+        w.write(&body(0)).unwrap();
+        w.write(&body(1)).unwrap();
+        drop(w);
+        // Crash mid-write of record 2: newline-less partial line.
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("{\"seq\":2,\"crc\":\"dead");
+        std::fs::write(&path, &text).unwrap();
+        let mut w = JournalWriter::append(&path, 2).unwrap();
+        assert_eq!(w.write(&body(2)).unwrap(), 2);
+        drop(w);
+        let c = read_journal_file(&path).unwrap();
+        assert_eq!(c.records.len(), 3);
+        assert!(!c.truncated_tail);
+        assert_eq!(c.records[2].body, body(2));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn append_with_stale_record_count_is_refused() {
+        let path = tmp("stale-append.journal");
+        let mut w = JournalWriter::create(&path).unwrap();
+        w.write(&body(0)).unwrap();
+        w.write(&body(1)).unwrap();
+        drop(w);
+        // A caller whose view disagrees with the file must not get a
+        // writer — truncating on a stale view could destroy records.
+        let err = JournalWriter::append(&path, 5).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let c = read_journal_file(&path).unwrap();
+        assert_eq!(c.records.len(), 2);
         let _ = std::fs::remove_file(&path);
     }
 
