@@ -30,33 +30,8 @@ fn main() {
     let a_path = args.next().expect(usage);
     let b_path = args.next().expect(usage);
     let family = args.next().unwrap_or_else(|| "adder".into());
-    let (a, b): (Aig, Aig) = match family.as_str() {
-        "adder" => (
-            gen::ripple_carry_adder(width),
-            gen::kogge_stone_adder(width),
-        ),
-        "bk" => (gen::ripple_carry_adder(width), gen::brent_kung_adder(width)),
-        "mul" => (
-            gen::array_multiplier(width),
-            gen::carry_save_multiplier(width),
-        ),
-        "parity" => (gen::parity_chain(width), gen::parity_tree(width)),
-        "popcount" => (gen::popcount_serial(width), gen::popcount_csa(width)),
-        "cmp" => (
-            gen::comparator_ripple(width),
-            gen::comparator_subtract(width),
-        ),
-        "penc" => (
-            gen::priority_encoder_chain(width),
-            gen::priority_encoder_onehot(width),
-        ),
-        "dec" => (gen::decoder_flat(width), gen::decoder_split(width)),
-        "shift" => (
-            gen::barrel_shifter_log(width),
-            gen::barrel_shifter_mux(width),
-        ),
-        other => panic!("unknown family `{other}`\n{usage}"),
-    };
+    let (a, b): (Aig, Aig) = gen::family_pair(&family, width)
+        .unwrap_or_else(|| panic!("unknown family `{family}`\n{usage}"));
     write(&a, &a_path);
     write(&b, &b_path);
 }

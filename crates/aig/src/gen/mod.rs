@@ -42,6 +42,48 @@ pub fn carry_lookahead_adder(width: usize) -> Aig {
     kogge_stone_adder(width)
 }
 
+/// Every family name accepted by [`family_pair`], in canonical order.
+pub const FAMILIES: &[&str] = &[
+    "adder", "bk", "mul", "parity", "popcount", "cmp", "penc", "dec", "shift",
+];
+
+/// Builds the named family's equivalent circuit pair at `width` — two
+/// architecturally different implementations of the same function, the
+/// standard CEC workload. `None` for an unknown family name.
+///
+/// This is the single source of truth shared by the `gen_pair` example,
+/// the load generator, and the bench snapshotter, so "the `adder`
+/// scenario" always means the same pair everywhere.
+///
+/// | family     | A                      | B                      |
+/// |------------|------------------------|------------------------|
+/// | `adder`    | ripple-carry adder     | Kogge–Stone adder      |
+/// | `bk`       | ripple-carry adder     | Brent–Kung adder       |
+/// | `mul`      | array multiplier       | carry-save multiplier  |
+/// | `parity`   | parity chain           | parity tree            |
+/// | `popcount` | serial popcount        | CSA popcount           |
+/// | `cmp`      | ripple comparator      | subtract comparator    |
+/// | `penc`     | priority encoder chain | one-hot encoder        |
+/// | `dec`      | flat decoder           | split decoder          |
+/// | `shift`    | log barrel shifter     | mux barrel shifter     |
+pub fn family_pair(family: &str, width: usize) -> Option<(Aig, Aig)> {
+    Some(match family {
+        "adder" => (ripple_carry_adder(width), kogge_stone_adder(width)),
+        "bk" => (ripple_carry_adder(width), brent_kung_adder(width)),
+        "mul" => (array_multiplier(width), carry_save_multiplier(width)),
+        "parity" => (parity_chain(width), parity_tree(width)),
+        "popcount" => (popcount_serial(width), popcount_csa(width)),
+        "cmp" => (comparator_ripple(width), comparator_subtract(width)),
+        "penc" => (
+            priority_encoder_chain(width),
+            priority_encoder_onehot(width),
+        ),
+        "dec" => (decoder_flat(width), decoder_split(width)),
+        "shift" => (barrel_shifter_log(width), barrel_shifter_mux(width)),
+        _ => return None,
+    })
+}
+
 use crate::{Aig, Lit};
 
 /// One-bit full adder; returns `(sum, carry_out)`.

@@ -7,6 +7,7 @@
 //!      [--proof=FILE] [--trim] [--lint-proof] [--lint-bundle]
 //!      [--emit-miter=FILE] [--emit-cnf=FILE] [--emit-cert=FILE]
 //!      [--trace-out=FILE] [--trace-chrome=FILE] [--stats-json=FILE]
+//!      [--metrics-out=FILE] [--metrics-period-ms=N]
 //!      [--check] [--verbose] [--quiet]
 //! ```
 //!
@@ -49,6 +50,14 @@
 //! conflict and per-lemma chain-length histograms, solver / proof /
 //! lint counters, per-worker stats). `--verbose` prints the phase
 //! breakdown and histograms on stderr.
+//!
+//! `--metrics-out=FILE` attaches a live metrics registry and a
+//! background sampler that appends one `metrics-v1` snapshot (engine
+//! counters, queue-depth gauges, per-worker rates, process RSS) to
+//! FILE as JSON Lines every `--metrics-period-ms` (default 100), plus
+//! a final snapshot at shutdown — the time-series view of a run, where
+//! `--stats-json` is the post-mortem. Metric names are listed in
+//! DESIGN.md.
 //!
 //! `--bdd` uses the canonical-form ROBDD baseline: fastest on small
 //! structured circuits, but produces no proof and may answer UNDECIDED
@@ -98,6 +107,8 @@ fn run() -> Result<i32, String> {
             "trace-out",
             "trace-chrome",
             "stats-json",
+            "metrics-out",
+            "metrics-period-ms",
             "check",
             "verbose",
             "quiet",
@@ -112,6 +123,7 @@ fn run() -> Result<i32, String> {
                     [--proof=FILE] [--trim] [--lint-proof] [--lint-bundle] \
                     [--emit-miter=FILE] [--emit-cnf=FILE] [--emit-cert=FILE] \
                     [--trace-out=FILE] [--trace-chrome=FILE] [--stats-json=FILE] \
+                    [--metrics-out=FILE] [--metrics-period-ms=N] \
                     [--check] [--verbose] [--quiet]"
                 .into(),
         );
@@ -127,17 +139,19 @@ fn run() -> Result<i32, String> {
     }
     let trace_flags = args.value("trace-out").is_some()
         || args.value("trace-chrome").is_some()
-        || args.value("stats-json").is_some();
+        || args.value("stats-json").is_some()
+        || args.value("metrics-out").is_some();
     if trace_flags && args.has("bdd") {
         return Err(
-            "--trace-out/--trace-chrome/--stats-json need the SAT-based \
-             engines; they cannot combine with --bdd"
+            "--trace-out/--trace-chrome/--stats-json/--metrics-out need the \
+             SAT-based engines; they cannot combine with --bdd"
                 .into(),
         );
     }
     let quiet = args.has("quiet");
     let verbose = args.has("verbose");
     let recorder = trace::recorder_for(&args);
+    let (metrics, sampler) = trace::metrics_for(&args)?;
     let read = |path: &str| -> Result<aig::Aig, String> {
         let f = File::open(path).map_err(|e| format!("{path}: {e}"))?;
         aig::aiger::read(BufReader::new(f)).map_err(|e| format!("{path}: {e}"))
@@ -186,6 +200,7 @@ fn run() -> Result<i32, String> {
             lint_bundle: args.has("lint-bundle"),
             verify: args.has("check"),
             recorder: recorder.clone(),
+            metrics: metrics.clone(),
             ..CecOptions::default()
         };
         if args.has("no-struct") {
@@ -226,6 +241,12 @@ fn run() -> Result<i32, String> {
     }
     .map_err(|e| e.to_string())?;
 
+    if let Some(sampler) = sampler {
+        let lines = sampler.stop().map_err(|e| format!("--metrics-out: {e}"))?;
+        if !quiet {
+            eprintln!("metrics: {lines} snapshots");
+        }
+    }
     trace::write_trace_files(&recorder, &args)?;
     {
         let stats = match &outcome {

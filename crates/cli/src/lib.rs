@@ -122,6 +122,43 @@ pub mod trace {
         Ok(())
     }
 
+    /// Builds the run's live-metrics registry and sampler from the
+    /// common `--metrics-out=FILE` / `--metrics-period-ms=N` flags:
+    /// with `--metrics-out` the registry is enabled and a background
+    /// [`obs::metrics::Sampler`] appends one `metrics-v1` snapshot per
+    /// period (default 100 ms) to FILE as JSON Lines; without it the
+    /// registry is disabled and every engine-side update costs one
+    /// branch. Call [`obs::metrics::Sampler::stop`] on the returned
+    /// sampler after the run to flush the final snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Reports a bad `--metrics-period-ms` value or a FILE creation
+    /// failure as `path: cause`.
+    pub fn metrics_for(
+        args: &Args,
+    ) -> Result<(obs::metrics::Metrics, Option<obs::metrics::Sampler>), String> {
+        let Some(path) = args.value("metrics-out") else {
+            return Ok((obs::metrics::Metrics::disabled(), None));
+        };
+        let period_ms: u64 = match args.value("metrics-period-ms") {
+            Some(v) => v
+                .parse()
+                .ok()
+                .filter(|&p| p > 0)
+                .ok_or_else(|| format!("--metrics-period-ms: bad period `{v}`"))?,
+            None => 100,
+        };
+        let f = File::create(path).map_err(|e| format!("{path}: {e}"))?;
+        let metrics = obs::metrics::Metrics::new();
+        let sampler = obs::metrics::Sampler::start(
+            metrics.clone(),
+            std::time::Duration::from_millis(period_ms),
+            BufWriter::new(f),
+        );
+        Ok((metrics, Some(sampler)))
+    }
+
     /// Writes a JSON value to `path`, newline-terminated (the payload of
     /// `--stats-json=FILE`).
     ///

@@ -35,6 +35,7 @@ use aig::{Aig, NodeId};
 use cnf::tseitin::Partition;
 use cnf::{Lit, Var};
 use obs::json::Value;
+use obs::metrics::{self, Metrics};
 use obs::{worker_tid, ArgVal, Recorder, TID_COORDINATOR};
 use proof::{ClauseId, StepRole};
 use sat::{SolveResult, Solver};
@@ -134,6 +135,13 @@ pub struct CecOptions {
     /// export with [`obs::export`]. Parallel workers record on logical
     /// thread ids `1..=threads`; the coordinator records on `0`.
     pub recorder: Recorder,
+    /// Live metrics registry for the run. The default is
+    /// [`obs::metrics::Metrics::disabled`] — every update costs one
+    /// branch. Attach an enabled registry (and typically an
+    /// [`obs::metrics::Sampler`]) to watch the engine's counters, queue
+    /// depths, and per-worker rates as a `metrics-v1` time series while
+    /// it runs. Metric names are listed in DESIGN.md.
+    pub metrics: Metrics,
 }
 
 impl Default for CecOptions {
@@ -153,6 +161,7 @@ impl Default for CecOptions {
             lint_bundle: false,
             verify: false,
             recorder: Recorder::disabled(),
+            metrics: Metrics::disabled(),
         }
     }
 }
@@ -228,6 +237,9 @@ impl Prover {
             return Err(CecError::NoOutputs);
         }
         let start = Instant::now();
+        let m = &self.options.metrics;
+        m.counter("cec.checks_started").inc();
+        durable.bind_metrics(m);
         let rec = &self.options.recorder;
         let miter = Miter::build(a, b, self.options.share_structure);
         let miter_time = start.elapsed();
@@ -357,6 +369,8 @@ impl Prover {
                     obs::hash::fnv1a64_hex(&bytes)
                 });
                 durable.verdict(true, proof_hash.as_deref(), None)?;
+                m.counter("cec.checks_completed").inc();
+                m.counter("cec.certificates_emitted").inc();
                 stats.elapsed = start.elapsed();
                 Ok(CecOutcome::Equivalent(Box::new(Certificate {
                     proof,
@@ -384,6 +398,8 @@ impl Prover {
                     return Err(CecError::BogusCounterexample(counterexample));
                 }
                 durable.verdict(false, None, Some(&counterexample.pattern))?;
+                m.counter("cec.checks_completed").inc();
+                m.counter("cec.counterexamples").inc();
                 stats.elapsed = start.elapsed();
                 Ok(CecOutcome::Inequivalent {
                     counterexample,
@@ -572,6 +588,11 @@ struct WorkerState {
     /// logical thread id in the trace.
     recorder: Recorder,
     tid: u32,
+    /// This worker's live `cec.worker<w>.*` counters, updated from the
+    /// worker thread itself so the sampler sees intra-round progress.
+    m_sat_calls: metrics::Counter,
+    m_conflicts: metrics::Counter,
+    m_lemmas: metrics::Counter,
 }
 
 impl WorkerState {
@@ -581,6 +602,8 @@ impl WorkerState {
         budget: Option<u64>,
         recorder: Recorder,
         tid: u32,
+        metrics: &Metrics,
+        w: usize,
     ) -> Self {
         let mut solver = if proof_mode {
             Solver::with_proof()
@@ -596,6 +619,9 @@ impl WorkerState {
             proof_mode,
             recorder,
             tid,
+            m_sat_calls: metrics.counter(&format!("cec.worker{w}.sat_calls")),
+            m_conflicts: metrics.counter(&format!("cec.worker{w}.conflicts")),
+            m_lemmas: metrics.counter(&format!("cec.worker{w}.lemmas")),
         }
     }
 
@@ -738,6 +764,8 @@ impl WorkerState {
             &self.recorder,
             self.tid,
             &mut stats.conflict_hist,
+            &self.m_sat_calls,
+            &self.m_conflicts,
         )
     }
 
@@ -747,6 +775,7 @@ impl WorkerState {
     fn commit_lemma(&mut self, canonical: &[Lit], stats: &mut WorkerStats) -> Option<ClauseId> {
         let committed = self.solver.commit_final_clause();
         stats.lemmas += 1;
+        self.m_lemmas.inc();
         if self.proof_mode {
             let id = committed.expect("proof mode final clause id");
             if let Some(p) = self.solver.proof() {
@@ -765,9 +794,11 @@ impl WorkerState {
 }
 
 /// One sweeping SAT call with per-call telemetry: the conflict delta is
-/// always recorded into `conflict_hist` (cheap); a `sat_call` span with
-/// node / verdict / conflict / decision / propagation args is recorded
-/// when tracing is enabled.
+/// always recorded into `conflict_hist` (cheap) and into the live
+/// call/conflict counters (one branch each when metrics are off); a
+/// `sat_call` span with node / verdict / conflict / decision /
+/// propagation args is recorded when tracing is enabled.
+#[allow(clippy::too_many_arguments)]
 fn traced_solve(
     solver: &mut Solver,
     assumptions: &[Lit],
@@ -775,12 +806,16 @@ fn traced_solve(
     recorder: &Recorder,
     tid: u32,
     conflict_hist: &mut obs::LogHistogram,
+    m_calls: &metrics::Counter,
+    m_conflicts: &metrics::Counter,
 ) -> SolveResult {
     let before = *solver.stats();
     let mut span = recorder.span("sat_call", tid);
     let result = solver.solve_with(assumptions);
     let conflicts = solver.stats().conflicts - before.conflicts;
     conflict_hist.record(conflicts);
+    m_calls.inc();
+    m_conflicts.add(conflicts);
     if span.is_enabled() {
         let after = solver.stats();
         span.arg("node", u64::from(n.index()));
@@ -882,26 +917,6 @@ fn bdd_probe(graph: &Aig, n: NodeId, target: Lit, node_limit: usize) -> BddProbe
     BddProbe::Refuted(pattern)
 }
 
-/// Upper edge of the histogram bucket containing quantile `q` of the
-/// recorded values, or `None` for an empty histogram.
-fn hist_quantile(h: &obs::LogHistogram, q: f64) -> Option<u64> {
-    let total = h.count();
-    if total == 0 {
-        return None;
-    }
-    #[allow(clippy::cast_precision_loss, clippy::cast_sign_loss)]
-    let rank = ((total as f64) * q).ceil().max(1.0) as u64;
-    let mut seen = 0u64;
-    for (i, &c) in h.bucket_counts().iter().enumerate() {
-        seen += c;
-        if seen >= rank {
-            // The last bucket is unbounded; the recorded max stands in.
-            return Some(obs::LogHistogram::bucket_hi(i).unwrap_or_else(|| h.max()));
-        }
-    }
-    None
-}
-
 /// The adaptive scheduler: static per-node hardness signals computed
 /// once per miter, combined with the engine's live conflict histogram
 /// to route each candidate pair and size its budget. All inputs are
@@ -942,7 +957,7 @@ impl AdaptivePolicy {
         // cost so far (p95 of the conflict histogram), then spread it
         // by the pair's static score: easy pairs get cut off early and
         // deferred, hard pairs get room before joining the hard queue.
-        let p95 = hist_quantile(hist, 0.95);
+        let p95 = hist.quantile(0.95);
         let try_bdd = score <= 0.35
             && p95.is_some_and(|c| c >= Self::BDD_CONFLICT_FLOOR)
             && self
@@ -999,6 +1014,43 @@ struct MergeLink {
     bwd: Option<ClauseId>, // (v_node ∨ ¬v_parent^phase)
 }
 
+/// Live-metrics handles resolved once per sweep run. Every handle is
+/// disconnected (one branch per update) when the registry is disabled,
+/// so the engine updates them unconditionally.
+struct SweepMetrics {
+    sat_calls: metrics::Counter,
+    conflicts: metrics::Counter,
+    lemmas: metrics::Counter,
+    structural_merges: metrics::Counter,
+    refinements: metrics::Counter,
+    rounds: metrics::Counter,
+    deferred: metrics::Counter,
+    retried: metrics::Counter,
+    bdd_calls: metrics::Counter,
+    /// Live candidate pairs remaining in the simulation classes.
+    queue_candidates: metrics::Gauge,
+    /// Budget-exhausted pairs parked in the adaptive hard queue.
+    queue_hard: metrics::Gauge,
+}
+
+impl SweepMetrics {
+    fn new(m: &Metrics) -> Self {
+        SweepMetrics {
+            sat_calls: m.counter("cec.sat_calls"),
+            conflicts: m.counter("cec.conflicts"),
+            lemmas: m.counter("cec.lemmas"),
+            structural_merges: m.counter("cec.structural_merges"),
+            refinements: m.counter("cec.refinements"),
+            rounds: m.counter("cec.rounds"),
+            deferred: m.counter("cec.dispatch.deferred"),
+            retried: m.counter("cec.dispatch.retried"),
+            bdd_calls: m.counter("cec.dispatch.bdd_calls"),
+            queue_candidates: m.gauge("cec.queue.candidates"),
+            queue_hard: m.gauge("cec.queue.hard"),
+        }
+    }
+}
+
 struct Sweep<'g> {
     graph: &'g Aig,
     options: &'g CecOptions,
@@ -1013,6 +1065,7 @@ struct Sweep<'g> {
     /// circuit-A boundary is given and proofs are on).
     sides: Option<Vec<(ClauseId, Partition)>>,
     stats: EngineStats,
+    metrics: SweepMetrics,
 }
 
 impl<'g> Sweep<'g> {
@@ -1064,6 +1117,7 @@ impl<'g> Sweep<'g> {
             struct_table: HashMap::new(),
             sides: sides.map(|(_, v)| v),
             stats: EngineStats::default(),
+            metrics: SweepMetrics::new(&options.metrics),
         }
     }
 
@@ -1158,9 +1212,11 @@ impl<'g> Sweep<'g> {
         classes
     }
 
-    /// Marks one class refinement in the stats and the trace.
+    /// Marks one class refinement in the stats, the metrics, and the
+    /// trace.
     fn record_refinement(&mut self, n: NodeId) {
         self.stats.refinements += 1;
+        self.metrics.refinements.inc();
         self.options.recorder.instant(
             "refine",
             TID_COORDINATOR,
@@ -1225,9 +1281,24 @@ impl<'g> Sweep<'g> {
         // Adaptive hard queue: `(node, root, phase)` pairs whose budget
         // ran out, retried after the main sweep instead of being lost.
         let mut deferred: Vec<(NodeId, NodeId, bool)> = Vec::new();
+        let watch_queues = self.options.metrics.is_enabled();
+        if watch_queues {
+            #[allow(clippy::cast_possible_wrap)]
+            self.metrics
+                .queue_candidates
+                .set(classes.num_candidates() as i64);
+        }
 
         for idx in 1..self.graph.len() {
             let n = NodeId::new(idx as u32);
+            // Refresh the live queue-depth gauge at a stride that keeps
+            // the class scan off the hot path.
+            if watch_queues && idx % 256 == 0 {
+                #[allow(clippy::cast_possible_wrap)]
+                self.metrics
+                    .queue_candidates
+                    .set(classes.num_candidates() as i64);
+            }
             // Structural merging first: free if the fanins' reps match a
             // previously processed node.
             if self.options.structural_merging {
@@ -1255,6 +1326,7 @@ impl<'g> Sweep<'g> {
                             bwd,
                         });
                         self.stats.lemmas += 2;
+                        self.metrics.lemmas.add(2);
                         classes.remove(n);
                         break;
                     }
@@ -1270,6 +1342,8 @@ impl<'g> Sweep<'g> {
                         // adaptive mode the pair gets one more shot.
                         if let Some(ds) = self.stats.dispatch.as_mut() {
                             ds.deferred += 1;
+                            self.metrics.deferred.inc();
+                            self.metrics.queue_hard.add(1);
                             deferred.push((n, root, phase));
                         } else {
                             self.stats.pairs_skipped += 1;
@@ -1294,6 +1368,8 @@ impl<'g> Sweep<'g> {
                 let target = Var::new(r.index()).lit(phase);
                 if let Some(ds) = self.stats.dispatch.as_mut() {
                     ds.retried += 1;
+                    self.metrics.retried.inc();
+                    self.metrics.queue_hard.add(-1);
                 }
                 match self.dispatch_pair(n, target, dispatch) {
                     Ok((fwd, bwd)) => {
@@ -1304,6 +1380,7 @@ impl<'g> Sweep<'g> {
                             bwd,
                         });
                         self.stats.lemmas += 2;
+                        self.metrics.lemmas.add(2);
                     }
                     Err(PairFailure::Counterexample(_)) => {
                         // Genuinely inequivalent; the node already left
@@ -1331,6 +1408,7 @@ impl<'g> Sweep<'g> {
         if d.try_bdd {
             if let Some(ds) = self.stats.dispatch.as_mut() {
                 ds.bdd_calls += 1;
+                self.metrics.bdd_calls.inc();
             }
             match bdd_probe(self.graph, n, target, BDD_PROBE_NODE_LIMIT) {
                 BddProbe::Refuted(pattern) => {
@@ -1443,6 +1521,8 @@ impl<'g> Sweep<'g> {
                     budget,
                     self.options.recorder.clone(),
                     worker_tid(w),
+                    &self.options.metrics,
+                    w,
                 ))
             })
             .collect();
@@ -1553,12 +1633,24 @@ impl<'g> Sweep<'g> {
                     }
                     if let Some(ds) = self.stats.dispatch.as_mut() {
                         ds.retried += pairs.len() as u64;
+                        self.metrics.retried.add(pairs.len() as u64);
                     }
                 }
                 if pairs.is_empty() {
                     break;
                 }
                 self.stats.rounds += 1;
+                self.metrics.rounds.inc();
+                if self.options.metrics.is_enabled() {
+                    // num_candidates is a class scan; only pay it when
+                    // someone is watching.
+                    #[allow(clippy::cast_possible_wrap)]
+                    self.metrics
+                        .queue_candidates
+                        .set(classes.num_candidates() as i64);
+                    #[allow(clippy::cast_possible_wrap)]
+                    self.metrics.queue_hard.set(deferred.len() as i64);
+                }
                 self.stats.pair_windows.push(per_worker as u32);
                 let mut round_span = self.options.recorder.span("round", TID_COORDINATOR);
                 round_span.arg("round", self.stats.rounds);
@@ -1609,6 +1701,7 @@ impl<'g> Sweep<'g> {
                     round_conflicts.push(round_stats.conflicts);
                     if let Some(ds) = self.stats.dispatch.as_mut() {
                         let wd = &report.dispatch;
+                        self.metrics.bdd_calls.add(wd.bdd_calls);
                         ds.sat_budgeted += wd.sat_budgeted;
                         ds.sat_unbudgeted += wd.sat_unbudgeted;
                         ds.bdd_calls += wd.bdd_calls;
@@ -1635,6 +1728,12 @@ impl<'g> Sweep<'g> {
                     self.stats.sat_calls += round_stats.sat_calls;
                     self.stats.sat_unsat += round_stats.sat_unsat;
                     self.stats.sat_cex += round_stats.sat_cex;
+                    // Workers tick only their own cec.worker{w}.* cells
+                    // live; fold this round into the engine-wide
+                    // aggregates so cec.sat_calls / cec.conflicts mean
+                    // the same thing under both sweep modes.
+                    self.metrics.sat_calls.add(round_stats.sat_calls);
+                    self.metrics.conflicts.add(round_stats.conflicts);
                     self.stats
                         .sat_conflict_hist
                         .merge(&round_stats.conflict_hist);
@@ -1694,6 +1793,7 @@ impl<'g> Sweep<'g> {
                                     bwd,
                                 });
                                 self.stats.lemmas += 2;
+                                self.metrics.lemmas.add(2);
                                 classes.remove(n);
                             }
                             PairVerdict::Refuted { pattern } => {
@@ -1704,6 +1804,7 @@ impl<'g> Sweep<'g> {
                                 if policy.is_some() && !retry_round {
                                     if let Some(ds) = self.stats.dispatch.as_mut() {
                                         ds.deferred += 1;
+                                        self.metrics.deferred.inc();
                                     }
                                     deferred.push((n, root, phase));
                                 } else {
@@ -1804,6 +1905,8 @@ impl<'g> Sweep<'g> {
             &self.options.recorder,
             TID_COORDINATOR,
             &mut self.stats.sat_conflict_hist,
+            &self.metrics.sat_calls,
+            &self.metrics.conflicts,
         )
     }
 
@@ -1897,6 +2000,8 @@ impl<'g> Sweep<'g> {
         });
         self.stats.structural_merges += 1;
         self.stats.lemmas += 2;
+        self.metrics.structural_merges.inc();
+        self.metrics.lemmas.add(2);
         self.options.recorder.instant(
             "structural_merge",
             TID_COORDINATOR,

@@ -115,6 +115,11 @@ pub struct Durable {
     hits: HashMap<String, u32>,
     /// Whether the loaded journal had a torn final line.
     truncated_tail: bool,
+    /// Live counter of checkpoint records appended (disconnected until
+    /// [`Durable::bind_metrics`]).
+    m_checkpoints: obs::metrics::Counter,
+    /// Live counter of journaled records validated on resume.
+    m_replayed: obs::metrics::Counter,
 }
 
 /// Canonical header body for an input pair + option set.
@@ -229,16 +234,26 @@ impl Durable {
         Ok(Durable {
             writer: Some(writer),
             replay,
-            cursor: 0,
-            crash: None,
-            hits: HashMap::new(),
             truncated_tail: contents.truncated_tail,
+            ..Durable::default()
         })
     }
 
     /// Arms a crash point. At most one can be armed.
     pub fn arm(&mut self, crash: CrashPoint) {
         self.crash = Some(crash);
+    }
+
+    /// Binds the journal's live counters (`cec.journal.checkpoints`,
+    /// `cec.journal.replayed`) to `metrics`. A disabled registry (or a
+    /// disabled handle) keeps the counters free. The engine calls this
+    /// at the start of every durable run.
+    pub fn bind_metrics(&mut self, metrics: &obs::metrics::Metrics) {
+        if self.writer.is_none() {
+            return;
+        }
+        self.m_checkpoints = metrics.counter("cec.journal.checkpoints");
+        self.m_replayed = metrics.counter("cec.journal.replayed");
     }
 
     /// Whether this handle journals at all.
@@ -347,13 +362,16 @@ impl Durable {
                 });
             }
             self.cursor += 1;
+            self.m_replayed.inc();
             return Ok(());
         }
         let writer = self.writer.as_mut().expect("checked by callers");
         writer
             .write(body)
             .and_then(|_| writer.sync())
-            .map_err(|e| CecError::Journal(format!("append record: {e}")))
+            .map_err(|e| CecError::Journal(format!("append record: {e}")))?;
+        self.m_checkpoints.inc();
+        Ok(())
     }
 }
 

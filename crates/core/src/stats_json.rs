@@ -108,6 +108,7 @@ impl EngineStats {
     /// `--stats-json` flag.
     pub fn to_json(&self) -> Value {
         let mut members = vec![
+            ("schema", Value::str("stats-v1")),
             ("miter_nodes", Value::U64(self.miter_nodes as u64)),
             ("circuit_nodes", Value::U64(self.circuit_nodes as u64)),
             ("initial_classes", Value::U64(self.initial_classes as u64)),
@@ -257,6 +258,7 @@ mod tests {
 
         let text = s.to_json().to_string();
         let v = parse(&text).expect("stats JSON parses");
+        assert_eq!(v.get("schema").and_then(Value::as_str), Some("stats-v1"));
         assert_eq!(v.get("sat_calls").and_then(Value::as_u64), Some(3));
         assert_eq!(v.get("elapsed_us").and_then(Value::as_u64), Some(1234));
         let phases = v.get("phases").expect("phase breakdown present");

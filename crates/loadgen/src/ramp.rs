@@ -1,0 +1,386 @@
+//! The open-loop ramping load driver.
+//!
+//! Each ramp step offers `rps × step_ms / 1000` equivalence-check
+//! requests to a pool of serving threads. Request *i* has a scheduled
+//! arrival time of `start + i / rps`; a serving thread that picks it up
+//! early sleeps until then, and its latency is measured **from the
+//! scheduled arrival** — so when the engine cannot keep up, queueing
+//! delay accumulates into the recorded latencies instead of silently
+//! stretching the offered rate (the coordinated-omission trap of
+//! closed-loop drivers).
+//!
+//! A step passes when its failure rate stays within
+//! [`RampConfig::max_failure_rate`] *and* its p95 latency stays within
+//! [`RampConfig::p95_latency_ms`]. The ramp climbs by
+//! [`RampConfig::increment_rps`] until a step fails or
+//! [`RampConfig::max_rps`] is exceeded; the last passing rate is the
+//! scenario's **max sustainable rate**. Requests still unserved when a
+//! step overruns its deadline (2× the step duration past the window)
+//! are abandoned and counted as failures, bounding each step's wall
+//! clock.
+//!
+//! Every completed request was a full [`cec::Prover`] run; engine
+//! errors and wrong verdicts count as failures, so sustainable rates
+//! are rates of *certified* answers.
+
+use crate::workload::{RampConfig, Scenario};
+use obs::json::Value;
+use obs::metrics::Metrics;
+use obs::LogHistogram;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Outcome of one ramp step at a fixed offered rate.
+#[derive(Clone, Debug)]
+pub struct StepResult {
+    /// Offered rate of this step, in checks per second.
+    pub rps: f64,
+    /// Requests offered (scheduled) during the window.
+    pub requests: u64,
+    /// Requests that completed with a correct certified verdict.
+    pub completed: u64,
+    /// Requests that errored, answered wrongly, or were abandoned at
+    /// the step deadline.
+    pub failed: u64,
+    /// `failed / requests`.
+    pub failure_rate: f64,
+    /// Median latency from scheduled arrival, in microseconds.
+    pub p50_us: u64,
+    /// 95th-percentile latency from scheduled arrival, in microseconds.
+    pub p95_us: u64,
+    /// Maximum observed latency, in microseconds.
+    pub max_us: u64,
+    /// Wall clock consumed by the step (window + drain).
+    pub elapsed_us: u64,
+    /// Whether the step met both success criteria.
+    pub passed: bool,
+}
+
+impl StepResult {
+    /// The step as a JSON object (one element of `steps` in
+    /// `bench-v2`).
+    pub fn to_json(&self) -> Value {
+        Value::Object(vec![
+            ("rps".into(), Value::F64(self.rps)),
+            ("requests".into(), Value::U64(self.requests)),
+            ("completed".into(), Value::U64(self.completed)),
+            ("failed".into(), Value::U64(self.failed)),
+            ("failure_rate".into(), Value::F64(self.failure_rate)),
+            ("p50_us".into(), Value::U64(self.p50_us)),
+            ("p95_us".into(), Value::U64(self.p95_us)),
+            ("max_us".into(), Value::U64(self.max_us)),
+            ("elapsed_us".into(), Value::U64(self.elapsed_us)),
+            ("passed".into(), Value::Bool(self.passed)),
+        ])
+    }
+}
+
+/// Outcome of a full ramp for one (scenario, thread-count) cell.
+#[derive(Clone, Debug)]
+pub struct RampResult {
+    /// Scenario display name.
+    pub name: String,
+    /// Generator family.
+    pub family: String,
+    /// Generator width.
+    pub width: usize,
+    /// Serving threads used for this cell.
+    pub threads: usize,
+    /// Optional hardness-band annotation from the workload.
+    pub band: Option<String>,
+    /// The ramp schedule this cell ran under.
+    pub ramp: RampConfig,
+    /// Per-step results, in ramp order (ends at the first failure).
+    pub steps: Vec<StepResult>,
+    /// Highest offered rate whose step passed; `0` if even the first
+    /// step failed.
+    pub max_sustainable_rps: f64,
+    /// One `metrics-v1` snapshot per step boundary (`seq` = step
+    /// index), from the cell's private registry.
+    pub metrics: Vec<Value>,
+}
+
+impl RampResult {
+    /// The cell as a JSON object (one element of `scenarios` in
+    /// `bench-v2`).
+    pub fn to_json(&self) -> Value {
+        let ramp = Value::Object(vec![
+            ("initial_rps".into(), Value::F64(self.ramp.initial_rps)),
+            ("increment_rps".into(), Value::F64(self.ramp.increment_rps)),
+            ("max_rps".into(), Value::F64(self.ramp.max_rps)),
+            ("step_ms".into(), Value::U64(self.ramp.step_ms)),
+            (
+                "max_failure_rate".into(),
+                Value::F64(self.ramp.max_failure_rate),
+            ),
+            (
+                "p95_latency_ms".into(),
+                Value::F64(self.ramp.p95_latency_ms),
+            ),
+        ]);
+        let mut members = vec![
+            ("name".into(), Value::str(&self.name)),
+            ("family".into(), Value::str(&self.family)),
+            ("width".into(), Value::U64(self.width as u64)),
+            ("threads".into(), Value::U64(self.threads as u64)),
+        ];
+        if let Some(band) = &self.band {
+            members.push(("band".into(), Value::str(band)));
+        }
+        members.push(("ramp".into(), ramp));
+        members.push((
+            "steps".into(),
+            Value::Array(self.steps.iter().map(StepResult::to_json).collect()),
+        ));
+        members.push((
+            "max_sustainable_rps".into(),
+            Value::F64(self.max_sustainable_rps),
+        ));
+        members.push(("metrics".into(), Value::Array(self.metrics.clone())));
+        Value::Object(members)
+    }
+}
+
+/// Runs the full ramp for one (scenario, thread-count) cell and
+/// returns its trajectory. `progress` is called once per finished step
+/// (for CLI narration); pass `|_| ()` to stay quiet.
+///
+/// The circuit pair is generated once up front; every request proves
+/// the same pair, so the cell measures engine throughput, not
+/// generator throughput. Each cell gets a fresh [`Metrics`] registry —
+/// snapshots embedded in the result are per-cell, not cumulative
+/// across cells.
+///
+/// # Panics
+///
+/// If the scenario's family is unknown (workload validation already
+/// rejects this) or a serving thread panics.
+pub fn run_scenario(
+    scenario: &Scenario,
+    threads: usize,
+    ramp: &RampConfig,
+    progress: &mut dyn FnMut(&StepResult),
+) -> RampResult {
+    let (a, b) = aig::gen::family_pair(&scenario.family, scenario.width)
+        .unwrap_or_else(|| panic!("unknown family `{}`", scenario.family));
+    let metrics = Metrics::new();
+    let latency = metrics.histogram("rbench.latency_us");
+    let prover = cec::Prover::new(cec::CecOptions {
+        metrics: metrics.clone(),
+        ..cec::CecOptions::default()
+    });
+
+    let mut steps: Vec<StepResult> = Vec::new();
+    let mut snapshots: Vec<Value> = Vec::new();
+    let mut rps = ramp.initial_rps;
+    let mut seq = 0u64;
+    while rps <= ramp.max_rps + 1e-9 {
+        let step = run_step(&prover, &a, &b, threads, rps, ramp, &latency);
+        if let Some(snap) = metrics.snapshot(seq) {
+            snapshots.push(snap);
+        }
+        seq += 1;
+        progress(&step);
+        let passed = step.passed;
+        steps.push(step);
+        if !passed {
+            break;
+        }
+        if ramp.increment_rps <= 0.0 {
+            break;
+        }
+        rps += ramp.increment_rps;
+    }
+    let max_sustainable_rps = steps
+        .iter()
+        .filter(|s| s.passed)
+        .map(|s| s.rps)
+        .fold(0.0, f64::max);
+    RampResult {
+        name: scenario.name.clone(),
+        family: scenario.family.clone(),
+        width: scenario.width,
+        threads,
+        band: scenario.band.clone(),
+        ramp: ramp.clone(),
+        steps,
+        max_sustainable_rps,
+        metrics: snapshots,
+    }
+}
+
+/// Shared state of one step: the next unclaimed request index and the
+/// tally of outcomes.
+struct StepState {
+    next: AtomicUsize,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    latencies: Mutex<LogHistogram>,
+}
+
+#[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+fn run_step(
+    prover: &cec::Prover,
+    a: &aig::Aig,
+    b: &aig::Aig,
+    threads: usize,
+    rps: f64,
+    ramp: &RampConfig,
+    cell_latency: &obs::metrics::Histogram,
+) -> StepResult {
+    let window = Duration::from_millis(ramp.step_ms);
+    let requests = ((rps * window.as_secs_f64()).round() as usize).max(1);
+    let interval_us = 1e6 / rps;
+    // Unserved requests are abandoned (and counted failed) once the
+    // step has overrun its window by 2×, so a hopeless rate cannot
+    // stall the whole ramp.
+    let deadline_extra = window * 2;
+
+    let state = StepState {
+        next: AtomicUsize::new(0),
+        completed: AtomicU64::new(0),
+        failed: AtomicU64::new(0),
+        latencies: Mutex::new(LogHistogram::default()),
+    };
+    let started = Instant::now();
+    let deadline = started + window + deadline_extra;
+
+    std::thread::scope(|scope| {
+        let worker = || {
+            loop {
+                let i = state.next.fetch_add(1, Ordering::Relaxed);
+                if i >= requests {
+                    return;
+                }
+                let scheduled_us = (i as f64 * interval_us) as u64;
+                let scheduled = started + Duration::from_micros(scheduled_us);
+                let now = Instant::now();
+                if now >= deadline {
+                    // Abandoned: never served before the step deadline.
+                    state.failed.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                if scheduled > now {
+                    std::thread::sleep(scheduled - now);
+                }
+                let ok = matches!(prover.prove(a, b), Ok(ref o) if o.is_equivalent());
+                let lat_us = Instant::now()
+                    .saturating_duration_since(scheduled)
+                    .as_micros() as u64;
+                if ok {
+                    state.completed.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    state.failed.fetch_add(1, Ordering::Relaxed);
+                }
+                cell_latency.record(lat_us);
+                state
+                    .latencies
+                    .lock()
+                    .expect("latency histogram poisoned")
+                    .record(lat_us);
+            }
+        };
+        for _ in 0..threads.max(1) {
+            scope.spawn(worker);
+        }
+    });
+
+    let elapsed_us = started.elapsed().as_micros() as u64;
+    let completed = state.completed.load(Ordering::Relaxed);
+    let failed = state.failed.load(Ordering::Relaxed);
+    let hist = state.latencies.into_inner().expect("latency histogram");
+    let requests = requests as u64;
+    let failure_rate = if requests == 0 {
+        0.0
+    } else {
+        failed as f64 / requests as f64
+    };
+    let p50_us = hist.quantile(0.50).unwrap_or(0);
+    let p95_us = hist.quantile(0.95).unwrap_or(0);
+    let passed =
+        failure_rate <= ramp.max_failure_rate && p95_us as f64 <= ramp.p95_latency_ms * 1000.0;
+    StepResult {
+        rps,
+        requests,
+        completed,
+        failed,
+        failure_rate,
+        p50_us,
+        p95_us,
+        max_us: hist.max(),
+        elapsed_us,
+        passed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_scenario() -> Scenario {
+        Scenario {
+            name: "adder4".into(),
+            family: "adder".into(),
+            width: 4,
+            threads: vec![1],
+            band: None,
+        }
+    }
+
+    #[test]
+    fn ramp_completes_and_embeds_metrics() {
+        let ramp = RampConfig {
+            initial_rps: 5.0,
+            increment_rps: 5.0,
+            max_rps: 10.0,
+            step_ms: 200,
+            max_failure_rate: 0.0,
+            p95_latency_ms: 10_000.0, // generous: tiny pair, CI machine
+        };
+        let mut seen = 0;
+        let result = run_scenario(&tiny_scenario(), 2, &ramp, &mut |_| seen += 1);
+        assert_eq!(seen, result.steps.len());
+        assert!(!result.steps.is_empty());
+        assert_eq!(result.metrics.len(), result.steps.len());
+        // Snapshots are valid metrics-v1 and show certified completions.
+        let last = result.metrics.last().unwrap();
+        assert_eq!(
+            last.get("schema").and_then(Value::as_str),
+            Some(obs::metrics::SCHEMA)
+        );
+        let total: u64 = result.steps.iter().map(|s| s.completed).sum();
+        let counters = last.get("counters").unwrap();
+        assert_eq!(
+            counters.get("cec.checks_completed").and_then(Value::as_u64),
+            Some(total)
+        );
+        assert_eq!(
+            counters
+                .get("cec.certificates_emitted")
+                .and_then(Value::as_u64),
+            Some(total)
+        );
+        // Every step either passed or ended the ramp.
+        for (i, s) in result.steps.iter().enumerate() {
+            assert!(s.passed || i == result.steps.len() - 1);
+            assert_eq!(s.completed + s.failed, s.requests);
+        }
+    }
+
+    #[test]
+    fn impossible_latency_bound_fails_first_step() {
+        let ramp = RampConfig {
+            initial_rps: 5.0,
+            increment_rps: 5.0,
+            max_rps: 50.0,
+            step_ms: 100,
+            max_failure_rate: 0.0,
+            p95_latency_ms: 0.0, // nothing is this fast
+        };
+        let result = run_scenario(&tiny_scenario(), 1, &ramp, &mut |_| ());
+        assert_eq!(result.steps.len(), 1);
+        assert!(!result.steps[0].passed);
+        assert_eq!(result.max_sustainable_rps, 0.0);
+    }
+}

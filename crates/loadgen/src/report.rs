@@ -1,0 +1,136 @@
+//! Markdown rendering of a trajectory document — the auto-generated
+//! report of `rbench report`.
+
+use obs::json::Value;
+use std::fmt::Write as _;
+
+/// Renders a `bench-v1`/`bench-v2` document as a markdown summary:
+/// header with host census, a sustainable-rate table for scenario
+/// cells, and a single-run latency table for the classic zoo cells.
+///
+/// # Errors
+///
+/// A diagnostic when the document has neither a `runs` nor a
+/// `scenarios` array.
+pub fn markdown(doc: &Value) -> Result<String, String> {
+    let runs = doc.get("runs").and_then(Value::as_array).unwrap_or(&[]);
+    let scenarios = doc
+        .get("scenarios")
+        .and_then(Value::as_array)
+        .unwrap_or(&[]);
+    if runs.is_empty() && scenarios.is_empty() {
+        return Err("document has no `runs` or `scenarios` to report".into());
+    }
+
+    let mut out = String::new();
+    let schema = doc.get("schema").and_then(Value::as_str).unwrap_or("?");
+    let date = doc.get("date").and_then(Value::as_str).unwrap_or("?");
+    let workload = doc.get("workload").and_then(Value::as_str).unwrap_or("?");
+    let _ = writeln!(out, "# Bench trajectory `{workload}` ({date}, {schema})\n");
+    if let Some(host) = doc.get("host") {
+        let s = |k: &str| {
+            host.get(k)
+                .and_then(Value::as_str)
+                .unwrap_or("?")
+                .to_string()
+        };
+        let cpus = host.get("cpus").and_then(Value::as_u64).unwrap_or(0);
+        let _ = writeln!(out, "Host: {} / {} / {cpus} cpus\n", s("os"), s("machine"));
+    }
+
+    if !scenarios.is_empty() {
+        out.push_str("## Sustainable rates\n\n");
+        out.push_str(
+            "| scenario | threads | max rps | steps | last p95 (ms) | last failure rate |\n",
+        );
+        out.push_str("|---|---:|---:|---:|---:|---:|\n");
+        for s in scenarios {
+            let name = s.get("name").and_then(Value::as_str).unwrap_or("?");
+            let threads = s.get("threads").and_then(Value::as_u64).unwrap_or(0);
+            let rps = s
+                .get("max_sustainable_rps")
+                .and_then(Value::as_f64)
+                .unwrap_or(0.0);
+            let steps = s.get("steps").and_then(Value::as_array).unwrap_or(&[]);
+            let (p95_ms, fail_rate) = steps.last().map_or((0.0, 0.0), |last| {
+                (
+                    last.get("p95_us").and_then(Value::as_f64).unwrap_or(0.0) / 1000.0,
+                    last.get("failure_rate")
+                        .and_then(Value::as_f64)
+                        .unwrap_or(0.0),
+                )
+            });
+            let _ = writeln!(
+                out,
+                "| {name} | {threads} | {rps:.1} | {} | {p95_ms:.1} | {fail_rate:.3} |",
+                steps.len()
+            );
+        }
+        out.push('\n');
+    }
+
+    if !runs.is_empty() {
+        out.push_str("## Single-run zoo\n\n");
+        out.push_str("| pair | engine | threads | elapsed (ms) | sat calls | lemmas |\n");
+        out.push_str("|---|---|---:|---:|---:|---:|\n");
+        for r in runs {
+            let pair = r.get("pair").and_then(Value::as_str).unwrap_or("?");
+            let engine = r.get("engine").and_then(Value::as_str).unwrap_or("?");
+            let threads = r.get("threads").and_then(Value::as_u64).unwrap_or(0);
+            let stats = r.get("stats");
+            let num = |k: &str| {
+                stats
+                    .and_then(|s| s.get(k))
+                    .and_then(Value::as_f64)
+                    .unwrap_or(0.0)
+            };
+            let _ = writeln!(
+                out,
+                "| {pair} | {engine} | {threads} | {:.1} | {} | {} |",
+                num("elapsed_us") / 1000.0,
+                num("sat_calls") as u64,
+                num("lemmas") as u64,
+            );
+        }
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obs::json::parse;
+
+    #[test]
+    fn renders_both_tables() {
+        let doc = parse(
+            r#"{
+              "schema": "bench-v2", "date": "2026-08-09", "workload": "w",
+              "host": {"os": "linux", "machine": "x86_64", "cpus": 8},
+              "runs": [{"pair": "adder-16", "engine": "static", "threads": 1,
+                        "stats": {"elapsed_us": 4500, "sat_calls": 79, "lemmas": 216}}],
+              "scenarios": [{"name": "adder8", "threads": 4, "max_sustainable_rps": 24.0,
+                             "steps": [{"p95_us": 1500, "failure_rate": 0.0}]}]
+            }"#,
+        )
+        .unwrap();
+        let md = markdown(&doc).unwrap();
+        assert!(md.contains("# Bench trajectory `w`"), "{md}");
+        assert!(
+            md.contains("| adder8 | 4 | 24.0 | 1 | 1.5 | 0.000 |"),
+            "{md}"
+        );
+        assert!(
+            md.contains("| adder-16 | static | 1 | 4.5 | 79 | 216 |"),
+            "{md}"
+        );
+        assert!(md.contains("8 cpus"), "{md}");
+    }
+
+    #[test]
+    fn empty_document_is_an_error() {
+        let doc = parse(r#"{"schema": "bench-v2"}"#).unwrap();
+        assert!(markdown(&doc).is_err());
+    }
+}

@@ -1,0 +1,508 @@
+//! Workload descriptions: which scenarios to drive, under which ramp
+//! schedule and success criteria.
+//!
+//! A workload file is either plain JSON (first non-space byte `{`,
+//! parsed with [`obs::json::parse`]) or a small TOML subset:
+//!
+//! ```toml
+//! # comments, blank lines
+//! name = "smoke"
+//!
+//! [ramp]
+//! initial_rps = 2.0
+//! increment_rps = 2.0
+//! max_rps = 50.0
+//! step_ms = 500
+//! max_failure_rate = 0.01
+//! p95_latency_ms = 200.0
+//!
+//! [[scenario]]
+//! name = "adder16"
+//! family = "adder"
+//! width = 16
+//! threads = [1, 4]
+//! band = "easy"
+//! ```
+//!
+//! The TOML subset covers exactly what workload files need: top-level
+//! `key = value` pairs, `[table]` headers, `[[array-of-tables]]`
+//! headers, and scalar values (strings, integers, floats, booleans,
+//! and flat arrays of those). Nested inline tables, dotted keys, and
+//! multi-line strings are out of scope and rejected with a line-number
+//! diagnostic.
+
+use obs::json::Value;
+
+/// Ramp schedule and step success criteria (the `[ramp]` table).
+#[derive(Clone, Debug, PartialEq)]
+pub struct RampConfig {
+    /// Offered rate of the first step, in checks per second.
+    pub initial_rps: f64,
+    /// Additive rate increase per step.
+    pub increment_rps: f64,
+    /// Hard ceiling; the ramp stops when the next step would exceed it.
+    pub max_rps: f64,
+    /// Duration of each step's offering window, in milliseconds.
+    pub step_ms: u64,
+    /// A step fails when `failed / offered` exceeds this fraction.
+    pub max_failure_rate: f64,
+    /// A step fails when the p95 check latency (measured from each
+    /// request's *scheduled* arrival, so queueing delay counts)
+    /// exceeds this bound, in milliseconds.
+    pub p95_latency_ms: f64,
+}
+
+impl Default for RampConfig {
+    fn default() -> Self {
+        RampConfig {
+            initial_rps: 2.0,
+            increment_rps: 2.0,
+            max_rps: 64.0,
+            step_ms: 500,
+            max_failure_rate: 0.01,
+            p95_latency_ms: 500.0,
+        }
+    }
+}
+
+/// One circuit-pair scenario (a `[[scenario]]` entry).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Scenario {
+    /// Display name, e.g. `adder16`. Defaults to `{family}{width}`.
+    pub name: String,
+    /// Generator family, one of [`aig::gen::FAMILIES`].
+    pub family: String,
+    /// Bit width handed to the generator pair.
+    pub width: usize,
+    /// Serving-thread counts to sweep; each gets its own ramp.
+    pub threads: Vec<usize>,
+    /// Optional hardness-band annotation (carried into `bench-v2`,
+    /// not interpreted by the driver).
+    pub band: Option<String>,
+}
+
+/// A parsed workload description.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Workload {
+    /// Workload name, stamped into the `bench-v2` document.
+    pub name: String,
+    /// Ramp schedule shared by every scenario.
+    pub ramp: RampConfig,
+    /// Scenarios to drive, in file order.
+    pub scenarios: Vec<Scenario>,
+}
+
+impl Workload {
+    /// Parses a workload from TOML-subset or JSON text (sniffed by the
+    /// first non-space byte).
+    ///
+    /// # Errors
+    ///
+    /// A human-readable diagnostic (with a line number for TOML input)
+    /// on syntax errors, unknown generator families, missing required
+    /// scenario fields, or non-positive rates/widths.
+    pub fn parse(text: &str) -> Result<Workload, String> {
+        let doc = if text.trim_start().starts_with('{') {
+            obs::json::parse(text).map_err(|e| format!("workload JSON: {e}"))?
+        } else {
+            toml_to_json(text)?
+        };
+        Workload::from_json(&doc)
+    }
+
+    /// Builds a workload from an already-parsed JSON tree of the same
+    /// shape the TOML subset produces.
+    ///
+    /// # Errors
+    ///
+    /// Same validation diagnostics as [`Workload::parse`].
+    pub fn from_json(doc: &Value) -> Result<Workload, String> {
+        let name = doc
+            .get("name")
+            .and_then(Value::as_str)
+            .unwrap_or("workload")
+            .to_string();
+        let mut ramp = RampConfig::default();
+        if let Some(r) = doc.get("ramp") {
+            let f = |key: &str, dflt: f64| r.get(key).and_then(Value::as_f64).unwrap_or(dflt);
+            ramp.initial_rps = f("initial_rps", ramp.initial_rps);
+            ramp.increment_rps = f("increment_rps", ramp.increment_rps);
+            ramp.max_rps = f("max_rps", ramp.max_rps);
+            ramp.step_ms = r
+                .get("step_ms")
+                .and_then(Value::as_u64)
+                .unwrap_or(ramp.step_ms);
+            ramp.max_failure_rate = f("max_failure_rate", ramp.max_failure_rate);
+            ramp.p95_latency_ms = f("p95_latency_ms", ramp.p95_latency_ms);
+        }
+        if ramp.initial_rps <= 0.0 || ramp.max_rps < ramp.initial_rps || ramp.step_ms == 0 {
+            return Err(format!(
+                "ramp: need 0 < initial_rps <= max_rps and step_ms > 0 \
+                 (got initial_rps={}, max_rps={}, step_ms={})",
+                ramp.initial_rps, ramp.max_rps, ramp.step_ms
+            ));
+        }
+        let raw = doc.get("scenario").and_then(Value::as_array).unwrap_or(&[]);
+        if raw.is_empty() {
+            return Err("workload has no [[scenario]] entries".into());
+        }
+        let mut scenarios = Vec::with_capacity(raw.len());
+        for (i, s) in raw.iter().enumerate() {
+            let family = s
+                .get("family")
+                .and_then(Value::as_str)
+                .ok_or_else(|| format!("scenario #{}: missing `family`", i + 1))?
+                .to_string();
+            if !aig::gen::FAMILIES.contains(&family.as_str()) {
+                return Err(format!(
+                    "scenario #{}: unknown family `{family}` (expected one of {})",
+                    i + 1,
+                    aig::gen::FAMILIES.join(", ")
+                ));
+            }
+            let width = s
+                .get("width")
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("scenario #{}: missing `width`", i + 1))?;
+            if width == 0 {
+                return Err(format!("scenario #{}: width must be positive", i + 1));
+            }
+            #[allow(clippy::cast_possible_truncation)]
+            let width = width as usize;
+            let name = s
+                .get("name")
+                .and_then(Value::as_str)
+                .map_or_else(|| format!("{family}{width}"), str::to_string);
+            let mut threads = Vec::new();
+            if let Some(list) = s.get("threads").and_then(Value::as_array) {
+                for t in list {
+                    let t = t
+                        .as_u64()
+                        .filter(|&t| t > 0)
+                        .ok_or_else(|| format!("scenario #{}: bad thread count", i + 1))?;
+                    #[allow(clippy::cast_possible_truncation)]
+                    threads.push(t as usize);
+                }
+            }
+            if threads.is_empty() {
+                threads = vec![1];
+            }
+            let band = s.get("band").and_then(Value::as_str).map(str::to_string);
+            scenarios.push(Scenario {
+                name,
+                family,
+                width,
+                threads,
+                band,
+            });
+        }
+        Ok(Workload {
+            name,
+            ramp,
+            scenarios,
+        })
+    }
+
+    /// The workload re-serialized as a JSON tree (the shape
+    /// [`Workload::from_json`] accepts), for embedding in `bench-v2`.
+    pub fn to_json(&self) -> Value {
+        let ramp = Value::Object(vec![
+            ("initial_rps".into(), Value::F64(self.ramp.initial_rps)),
+            ("increment_rps".into(), Value::F64(self.ramp.increment_rps)),
+            ("max_rps".into(), Value::F64(self.ramp.max_rps)),
+            ("step_ms".into(), Value::U64(self.ramp.step_ms)),
+            (
+                "max_failure_rate".into(),
+                Value::F64(self.ramp.max_failure_rate),
+            ),
+            (
+                "p95_latency_ms".into(),
+                Value::F64(self.ramp.p95_latency_ms),
+            ),
+        ]);
+        let scenarios = self
+            .scenarios
+            .iter()
+            .map(|s| {
+                let mut members = vec![
+                    ("name".into(), Value::str(&s.name)),
+                    ("family".into(), Value::str(&s.family)),
+                    ("width".into(), Value::U64(s.width as u64)),
+                    (
+                        "threads".into(),
+                        Value::Array(s.threads.iter().map(|&t| Value::U64(t as u64)).collect()),
+                    ),
+                ];
+                if let Some(band) = &s.band {
+                    members.push(("band".into(), Value::str(band)));
+                }
+                Value::Object(members)
+            })
+            .collect();
+        Value::Object(vec![
+            ("name".into(), Value::str(&self.name)),
+            ("ramp".into(), ramp),
+            ("scenario".into(), Value::Array(scenarios)),
+        ])
+    }
+}
+
+/// Parses the TOML subset into the equivalent JSON tree: top-level
+/// scalars, `[table]`, `[[array-of-tables]]`, scalar arrays.
+fn toml_to_json(text: &str) -> Result<Value, String> {
+    let mut top: Vec<(String, Value)> = Vec::new();
+    // Path to the table currently receiving `key = value` lines:
+    // None = top level, Some((name, is_array)) = inside [name] or the
+    // last element of [[name]].
+    let mut open: Option<String> = None;
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        let at = |msg: String| format!("workload line {}: {msg}", lineno + 1);
+        if let Some(header) = line.strip_prefix("[[") {
+            let name = header
+                .strip_suffix("]]")
+                .ok_or_else(|| at("unterminated [[header]]".into()))?
+                .trim();
+            validate_key(name).map_err(&at)?;
+            match top.iter_mut().find(|(k, _)| k == name) {
+                Some((_, Value::Array(items))) => items.push(Value::Object(Vec::new())),
+                Some(_) => return Err(at(format!("`{name}` is not an array of tables"))),
+                None => top.push((
+                    name.to_string(),
+                    Value::Array(vec![Value::Object(Vec::new())]),
+                )),
+            }
+            open = Some(name.to_string());
+        } else if let Some(header) = line.strip_prefix('[') {
+            let name = header
+                .strip_suffix(']')
+                .ok_or_else(|| at("unterminated [header]".into()))?
+                .trim();
+            validate_key(name).map_err(&at)?;
+            if top.iter().any(|(k, _)| k == name) {
+                return Err(at(format!("duplicate table `{name}`")));
+            }
+            top.push((name.to_string(), Value::Object(Vec::new())));
+            open = Some(name.to_string());
+        } else {
+            let eq = line
+                .find('=')
+                .ok_or_else(|| at("expected `key = value`".into()))?;
+            let key = line[..eq].trim();
+            validate_key(key).map_err(&at)?;
+            let value = parse_scalar_or_array(line[eq + 1..].trim()).map_err(&at)?;
+            let members = match &open {
+                None => &mut top,
+                Some(table) => {
+                    let slot = top
+                        .iter_mut()
+                        .find(|(k, _)| k == table)
+                        .map(|(_, v)| v)
+                        .expect("open table was just inserted");
+                    match slot {
+                        Value::Object(m) => m,
+                        Value::Array(items) => match items.last_mut() {
+                            Some(Value::Object(m)) => m,
+                            _ => unreachable!("array tables only hold objects"),
+                        },
+                        _ => unreachable!("tables are objects or arrays of objects"),
+                    }
+                }
+            };
+            if members.iter().any(|(k, _)| k == key) {
+                return Err(at(format!("duplicate key `{key}`")));
+            }
+            members.push((key.to_string(), value));
+        }
+    }
+    Ok(Value::Object(top))
+}
+
+/// Drops a `#` comment, respecting `#` inside double-quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn validate_key(key: &str) -> Result<(), String> {
+    if !key.is_empty()
+        && key
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+    {
+        Ok(())
+    } else {
+        Err(format!("bad key `{key}` (bare ASCII keys only)"))
+    }
+}
+
+fn parse_scalar_or_array(tok: &str) -> Result<Value, String> {
+    if let Some(body) = tok.strip_prefix('[') {
+        let body = body
+            .strip_suffix(']')
+            .ok_or("unterminated array (arrays must fit on one line)")?
+            .trim();
+        let mut items = Vec::new();
+        if !body.is_empty() {
+            for part in split_array_items(body)? {
+                items.push(parse_scalar(part.trim())?);
+            }
+        }
+        return Ok(Value::Array(items));
+    }
+    parse_scalar(tok)
+}
+
+/// Splits a flat array body on commas outside double quotes.
+fn split_array_items(body: &str) -> Result<Vec<&str>, String> {
+    let mut parts = Vec::new();
+    let mut start = 0;
+    let mut in_str = false;
+    for (i, c) in body.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            ',' if !in_str => {
+                parts.push(&body[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    if in_str {
+        return Err("unterminated string in array".into());
+    }
+    parts.push(&body[start..]);
+    Ok(parts)
+}
+
+fn parse_scalar(tok: &str) -> Result<Value, String> {
+    if let Some(body) = tok.strip_prefix('"') {
+        let body = body
+            .strip_suffix('"')
+            .filter(|_| tok.len() >= 2)
+            .ok_or_else(|| format!("unterminated string `{tok}`"))?;
+        if body.contains('\\') {
+            return Err(format!("string escapes are not supported: `{tok}`"));
+        }
+        return Ok(Value::str(body));
+    }
+    match tok {
+        "true" => return Ok(Value::Bool(true)),
+        "false" => return Ok(Value::Bool(false)),
+        _ => {}
+    }
+    if let Ok(v) = tok.parse::<u64>() {
+        return Ok(Value::U64(v));
+    }
+    if let Ok(v) = tok.parse::<i64>() {
+        return Ok(Value::I64(v));
+    }
+    if let Ok(v) = tok.parse::<f64>() {
+        if v.is_finite() {
+            return Ok(Value::F64(v));
+        }
+    }
+    Err(format!("bad value `{tok}`"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SMOKE: &str = r#"
+        # a smoke workload
+        name = "smoke"
+
+        [ramp]
+        initial_rps = 4.0
+        increment_rps = 4.0
+        max_rps = 16.0
+        step_ms = 250
+        max_failure_rate = 0.0
+        p95_latency_ms = 100.5   # generous
+
+        [[scenario]]
+        family = "adder"
+        width = 8
+        threads = [1, 4]
+        band = "easy"
+
+        [[scenario]]
+        name = "xor-tree"
+        family = "parity"
+        width = 16
+    "#;
+
+    #[test]
+    fn toml_round_trip() {
+        let w = Workload::parse(SMOKE).unwrap();
+        assert_eq!(w.name, "smoke");
+        assert_eq!(w.ramp.initial_rps, 4.0);
+        assert_eq!(w.ramp.step_ms, 250);
+        assert_eq!(w.ramp.p95_latency_ms, 100.5);
+        assert_eq!(w.scenarios.len(), 2);
+        assert_eq!(w.scenarios[0].name, "adder8");
+        assert_eq!(w.scenarios[0].threads, vec![1, 4]);
+        assert_eq!(w.scenarios[0].band.as_deref(), Some("easy"));
+        assert_eq!(w.scenarios[1].name, "xor-tree");
+        assert_eq!(w.scenarios[1].threads, vec![1]);
+        assert_eq!(w.scenarios[1].band, None);
+
+        // to_json -> from_json is the identity.
+        let again = Workload::from_json(&w.to_json()).unwrap();
+        assert_eq!(again, w);
+    }
+
+    #[test]
+    fn json_input_is_sniffed() {
+        let w = Workload::parse(SMOKE).unwrap();
+        let json = w.to_json().to_string();
+        assert_eq!(Workload::parse(&json).unwrap(), w);
+    }
+
+    #[test]
+    fn diagnostics_carry_line_numbers() {
+        let err = Workload::parse("name = \"x\"\nbogus line\n").unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+        let err = Workload::parse("[ramp\n").unwrap_err();
+        assert!(err.contains("line 1"), "{err}");
+    }
+
+    #[test]
+    fn rejects_unknown_family_and_bad_ramp() {
+        let err = Workload::parse("[[scenario]]\nfamily = \"nosuch\"\nwidth = 8\n").unwrap_err();
+        assert!(err.contains("unknown family"), "{err}");
+        let err = Workload::parse(
+            "[ramp]\ninitial_rps = 0.0\n[[scenario]]\nfamily = \"adder\"\nwidth = 8\n",
+        )
+        .unwrap_err();
+        assert!(err.contains("initial_rps"), "{err}");
+        let err = Workload::parse("name = \"x\"\n").unwrap_err();
+        assert!(err.contains("no [[scenario]]"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_keys_rejected() {
+        let err = Workload::parse("name = \"a\"\nname = \"b\"\n").unwrap_err();
+        assert!(err.contains("duplicate key"), "{err}");
+    }
+
+    #[test]
+    fn comments_inside_strings_survive() {
+        let w =
+            Workload::parse("name = \"has # hash\"\n[[scenario]]\nfamily = \"adder\"\nwidth = 4\n")
+                .unwrap();
+        assert_eq!(w.name, "has # hash");
+    }
+}

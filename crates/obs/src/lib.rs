@@ -61,6 +61,7 @@ pub mod export;
 pub mod hash;
 pub mod journal;
 pub mod json;
+pub mod metrics;
 
 use std::fmt;
 use std::sync::{Arc, Mutex};
@@ -421,6 +422,27 @@ impl LogHistogram {
     /// Whether no observation was recorded.
     pub fn is_empty(&self) -> bool {
         self.count == 0
+    }
+
+    /// An upper-bound estimate of quantile `q` (clamped to `0..=1`):
+    /// the inclusive upper bound of the bucket containing the `⌈q·n⌉`-th
+    /// observation, with the recorded [`LogHistogram::max`] standing in
+    /// for the unbounded last bucket. `None` with no observations.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Some(Self::bucket_hi(i).unwrap_or(self.max));
+            }
+        }
+        Some(self.max)
     }
 
     /// Raw per-bucket counts.

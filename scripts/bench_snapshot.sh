@@ -1,85 +1,28 @@
 #!/usr/bin/env bash
-# Produces the machine-readable perf snapshot BENCH_<date>.json from a
-# t7-style mixed-hardness workload: every (pair, engine, threads) cell
-# runs `rcec --stats-json` and the per-run stats trees are folded into
-# one top-level JSON document so future PRs can diff the trajectory.
+# Produces the machine-readable perf snapshot BENCH_<date>.json from the
+# t7 mixed-hardness workload: every (pair, engine, threads) cell of the
+# zoo is proved in-process and folded into one bench-v2 document (a
+# strict superset of the old bench-v1 shape) so future PRs can diff the
+# trajectory with `rbench compare`.
 #
 #   scripts/bench_snapshot.sh [OUT.json]
 #
-# Expects release binaries (`cargo build --release -p cec-tools` and the
-# `gen_pair` example). OUT defaults to BENCH_$(date -u +%F).json in the
-# repo root. The workload is fixed and seedless, so two runs on the same
-# host differ only in timing fields.
+# This is now a thin shim over `rbench snapshot` (crate `loadgen`),
+# which replaced the old gen_pair/rcec/python pipeline: no temp files,
+# no Python, and the host census comes from
+# std::thread::available_parallelism instead of a sandboxed
+# interpreter's os.cpu_count() (which is how a seeded snapshot came to
+# claim "cpus": 1). OUT defaults to BENCH_$(date -u +%F).json in the
+# repo root. The workload is fixed and seedless, so two runs on the
+# same host differ only in timing fields.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_$(date -u +%F).json}"
-rcec=target/release/rcec
-[ -x "$rcec" ] || { echo "build first: cargo build --release -p cec-tools" >&2; exit 1; }
+rbench=target/release/rbench
+[ -x "$rbench" ] || { echo "build first: cargo build --release -p cec-tools" >&2; exit 1; }
 
-work="$(mktemp -d)"
-trap 'rm -rf "$work"' EXIT
-
-# The mixed-hardness zoo: easy tree-shaped pairs through the multiplier
-# wall, the same spread the adaptive scheduler is tuned against.
-pairs=(
-  "adder:16"
-  "bk:24"
-  "parity:24"
-  "popcount:12"
-  "cmp:12"
-  "penc:16"
-  "mul:4"
-)
-
-for spec in "${pairs[@]}"; do
-  family="${spec%%:*}"; width="${spec##*:}"
-  cargo run --release -q -p aig --example gen_pair -- \
-    "$width" "$work/$family-$width.a.aag" "$work/$family-$width.b.aag" "$family"
-done
-
-for spec in "${pairs[@]}"; do
-  family="${spec%%:*}"; width="${spec##*:}"
-  for engine in static adaptive; do
-    for threads in 1 4; do
-      "$rcec" "$work/$family-$width.a.aag" "$work/$family-$width.b.aag" \
-        --engine="$engine" --threads="$threads" --quiet \
-        --stats-json="$work/$family-$width.$engine.t$threads.json"
-    done
-  done
-done
-
-python3 - "$out" "$work" <<'EOF'
-import json, os, platform, sys
-
-out, work = sys.argv[1], sys.argv[2]
-date = os.path.basename(out).removeprefix("BENCH_").removesuffix(".json")
-runs = []
-for name in sorted(os.listdir(work)):
-    if not name.endswith(".json"):
-        continue
-    pair, engine, tcell = name.removesuffix(".json").rsplit(".", 2)
-    stats = json.load(open(os.path.join(work, name)))
-    runs.append({
-        "pair": pair,
-        "engine": engine,
-        "threads": int(tcell.removeprefix("t")),
-        "stats": stats,
-    })
-assert runs, "no stats produced"
-doc = {
-    "schema": "bench-v1",
-    "date": date,
-    "workload": "t7-mixed-zoo",
-    "host": {
-        "os": platform.system().lower(),
-        "machine": platform.machine(),
-        "cpus": os.cpu_count(),
-    },
-    "runs": runs,
-}
-with open(out, "w") as f:
-    json.dump(doc, f, indent=1, sort_keys=True)
-    f.write("\n")
-print(f"{out}: {len(runs)} runs")
-EOF
+if [ $# -ge 1 ]; then
+  exec "$rbench" snapshot --out="$1"
+else
+  exec "$rbench" snapshot
+fi
