@@ -9,7 +9,7 @@
 use crate::{Aig, Lit, Node, NodeId};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 impl Aig {
     /// Copies the graph, keeping only nodes reachable from the outputs.
@@ -68,6 +68,70 @@ impl Aig {
     /// random. Used to manufacture equivalence-checking input pairs.
     pub fn shuffle_rebuild(&self, seed: u64) -> Aig {
         self.rebuild_trees(TreeOrder::Shuffled(seed))
+    }
+
+    /// Rebuilds the graph with an identical gate structure but a
+    /// pseudo-randomly chosen node numbering (deterministic per
+    /// `seed`): gates are emitted in a random topological order.
+    ///
+    /// Unlike [`Aig::shuffle_rebuild`] this never re-associates AND
+    /// trees — the result is *isomorphic* to the original (same gates,
+    /// renamed), which is exactly the variation a structural cache key
+    /// must erase. Input indices and output order are preserved.
+    pub fn permute_rebuild(&self, seed: u64) -> Aig {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut g = Aig::with_capacity(self.len());
+        let inputs = g.add_inputs(self.num_inputs());
+        let mut map: Vec<Option<Lit>> = vec![None; self.len()];
+        map[NodeId::CONST.as_usize()] = Some(Lit::FALSE);
+        // Dependency counts and reverse edges over AND gates.
+        let mut dependents: Vec<Vec<NodeId>> = vec![Vec::new(); self.len()];
+        let mut pending: Vec<u32> = vec![0; self.len()];
+        let mut ready: Vec<NodeId> = Vec::new();
+        for (id, node) in self.iter() {
+            match *node {
+                Node::Const => {}
+                Node::Input { index } => map[id.as_usize()] = Some(inputs[index as usize]),
+                Node::And { a, b } => {
+                    let fa = a.node();
+                    let fb = b.node();
+                    for f in [Some(fa), (fb != fa).then_some(fb)].into_iter().flatten() {
+                        if matches!(self.node(f), Node::And { .. }) {
+                            pending[id.as_usize()] += 1;
+                            dependents[f.as_usize()].push(id);
+                        }
+                    }
+                    if pending[id.as_usize()] == 0 {
+                        ready.push(id);
+                    }
+                }
+            }
+        }
+        while !ready.is_empty() {
+            let pick = rng.gen_range(0..ready.len());
+            let id = ready.swap_remove(pick);
+            let Node::And { a, b } = *self.node(id) else {
+                unreachable!("ready list holds AND gates only");
+            };
+            let la = map[a.node().as_usize()]
+                .expect("fanin emitted")
+                .xor_complement(a.is_complemented());
+            let lb = map[b.node().as_usize()]
+                .expect("fanin emitted")
+                .xor_complement(b.is_complemented());
+            map[id.as_usize()] = Some(g.and(la, lb));
+            for &d in &dependents[id.as_usize()] {
+                pending[d.as_usize()] -= 1;
+                if pending[d.as_usize()] == 0 {
+                    ready.push(d);
+                }
+            }
+        }
+        for o in self.outputs() {
+            let l = map[o.node().as_usize()].expect("output cone emitted");
+            g.add_output(l.xor_complement(o.is_complemented()));
+        }
+        g
     }
 
     fn rebuild_trees(&self, order: TreeOrder) -> Aig {
@@ -161,6 +225,32 @@ mod tests {
     use super::*;
     use crate::gen::{kogge_stone_adder, random_aig, ripple_carry_adder};
     use crate::sim::exhaustive_diff;
+
+    #[test]
+    fn permute_rebuild_renames_without_restructuring() {
+        let g = kogge_stone_adder(6);
+        let mut moved = 0;
+        for seed in [1u64, 9, 40] {
+            let p = g.permute_rebuild(seed);
+            assert_eq!(p.len(), g.len(), "same node count (seed {seed})");
+            assert_eq!(p.num_ands(), g.num_ands(), "same gate count (seed {seed})");
+            assert_eq!(p.num_inputs(), g.num_inputs());
+            assert_eq!(p.num_outputs(), g.num_outputs());
+            assert_eq!(
+                exhaustive_diff(&g, &p, 13),
+                None,
+                "same function (seed {seed})"
+            );
+            let mut a = Vec::new();
+            let mut b = Vec::new();
+            crate::aiger::write_ascii(&g, &mut a).unwrap();
+            crate::aiger::write_ascii(&p, &mut b).unwrap();
+            if a != b {
+                moved += 1;
+            }
+        }
+        assert!(moved > 0, "at least one seed produced a new numbering");
+    }
 
     #[test]
     fn cleanup_removes_dead_nodes() {

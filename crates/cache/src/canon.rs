@@ -1,0 +1,292 @@
+//! Structural canonicalization: a node-order-independent normal form
+//! for AIGs, and the cache key derived from it.
+//!
+//! Two queries should share a cache slot when they are the *same
+//! instance* up to renaming: identical logic over the same input pins,
+//! differing only in node numbering and fanin order (the output of
+//! `Aig::permute_rebuild`, a re-serialized netlist dump, a tool that
+//! emits gates in a different topological order). Canonicalization
+//! erases exactly those degrees of freedom and nothing else — input
+//! indices and output order are part of the circuit's interface and
+//! stay fixed. (Re-*associated* variants such as `Aig::shuffle_rebuild`
+//! are different gate structures and deliberately key separately: the
+//! cache answers "seen this netlist before?", not "seen this
+//! function?" — the latter question is the engine's job.)
+//!
+//! The construction is two passes:
+//!
+//! 1. **Signature pass** (bottom-up): every node gets a structural hash
+//!    over its kind — inputs hash their index, AND gates hash the
+//!    *unordered* pair of fanin edge signatures (edge = node signature
+//!    mixed with the complement bit). Node ids never enter a signature,
+//!    so isomorphic graphs produce identical signature multisets.
+//! 2. **Rebuild pass**: a DFS from the outputs in interface order,
+//!    visiting each gate's fanins in ascending edge-signature order,
+//!    emits gates into a fresh hash-consed AIG. Creation order is
+//!    thereby a pure function of the logic, which pins the node
+//!    numbering of the result.
+//!
+//! A signature collision between the two fanins of one gate falls back
+//! to the original fanin order for that gate — the rebuild is then
+//! still correct, merely not guaranteed canonical for that one pair,
+//! and the cache's replay validation keeps even a full key collision
+//! harmless (the certificate simply fails to re-bind and the query is
+//! re-proved).
+
+use aig::{Aig, Node, NodeId};
+use obs::hash::fnv1a64;
+
+/// Mixes two words with the FNV prime — cheap, deterministic, and good
+/// enough to keep unrelated cones apart (collisions only cost cache
+/// hit rate, never correctness).
+fn mix(a: u64, b: u64) -> u64 {
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    (a ^ b.rotate_left(31)).wrapping_mul(FNV_PRIME)
+}
+
+const TAG_CONST: u64 = 0x9e37_79b9_7f4a_7c15;
+const TAG_INPUT: u64 = 0xc2b2_ae3d_27d4_eb4f;
+const TAG_AND: u64 = 0x1656_67b1_9e37_79f9;
+const TAG_COMPL: u64 = 0x27d4_eb2f_1656_67c5;
+
+/// Per-node structural signatures, bottom-up. Fanins precede their
+/// gates in an [`Aig`], so one forward pass suffices.
+fn signatures(g: &Aig) -> Vec<u64> {
+    let mut sig = vec![0u64; g.len()];
+    for (id, node) in g.iter() {
+        sig[id.as_usize()] = match *node {
+            Node::Const => TAG_CONST,
+            Node::Input { index } => mix(TAG_INPUT, u64::from(index)),
+            Node::And { a, b } => {
+                let (ea, eb) = (edge_sig(&sig, a), edge_sig(&sig, b));
+                let (lo, hi) = if ea <= eb { (ea, eb) } else { (eb, ea) };
+                mix(mix(TAG_AND, lo), hi)
+            }
+        };
+    }
+    sig
+}
+
+fn edge_sig(sig: &[u64], e: aig::Lit) -> u64 {
+    let s = sig[e.node().as_usize()];
+    if e.is_complemented() {
+        mix(TAG_COMPL, s)
+    } else {
+        s
+    }
+}
+
+/// Rewrites `g` into its structural normal form: the same gate
+/// structure over the same interface, with node numbering and fanin
+/// order derived from the logic alone. Isomorphic inputs (e.g.
+/// `g.permute_rebuild(seed)` for any seed) produce byte-identical
+/// normal forms.
+///
+/// # Example
+///
+/// ```
+/// use aig::gen::ripple_carry_adder;
+/// let a = ripple_carry_adder(8);
+/// let renumbered = a.permute_rebuild(42);
+/// let mut x = Vec::new();
+/// let mut y = Vec::new();
+/// aig::aiger::write_ascii(&cache::canonical_form(&a), &mut x).unwrap();
+/// aig::aiger::write_ascii(&cache::canonical_form(&renumbered), &mut y).unwrap();
+/// assert_eq!(x, y);
+/// ```
+pub fn canonical_form(g: &Aig) -> Aig {
+    let sig = signatures(g);
+    let mut out = Aig::with_capacity(g.len());
+    let inputs = out.add_inputs(g.num_inputs());
+    // map[g node] -> out literal (positive phase of the rebuilt node).
+    let mut map: Vec<Option<aig::Lit>> = vec![None; g.len()];
+    map[NodeId::CONST.as_usize()] = Some(aig::Lit::FALSE);
+    for (id, node) in g.iter() {
+        if let Node::Input { index } = *node {
+            map[id.as_usize()] = Some(inputs[index as usize]);
+        }
+    }
+    // Iterative DFS from each output in interface order; fanins are
+    // visited in ascending edge-signature order so gate creation order
+    // is id-independent.
+    let mut stack: Vec<NodeId> = Vec::new();
+    for o in g.outputs() {
+        stack.push(o.node());
+        while let Some(&n) = stack.last() {
+            if map[n.as_usize()].is_some() {
+                stack.pop();
+                continue;
+            }
+            let (fa, fb) = g.node(n).fanins().expect("unmapped nodes are AND gates");
+            let (first, second) = ordered_fanins(&sig, fa, fb);
+            let ma = map[first.node().as_usize()];
+            let mb = map[second.node().as_usize()];
+            match (ma, mb) {
+                (Some(la), Some(lb)) => {
+                    let la = la.xor_complement(first.is_complemented());
+                    let lb = lb.xor_complement(second.is_complemented());
+                    map[n.as_usize()] = Some(out.and(la, lb));
+                    stack.pop();
+                }
+                _ => {
+                    if mb.is_none() {
+                        stack.push(second.node());
+                    }
+                    if ma.is_none() {
+                        stack.push(first.node());
+                    }
+                }
+            }
+        }
+    }
+    for o in g.outputs() {
+        let l = map[o.node().as_usize()].expect("output cone was built");
+        out.add_output(l.xor_complement(o.is_complemented()));
+    }
+    out
+}
+
+/// Fanin visit order: ascending edge signature, original order on tie.
+fn ordered_fanins(sig: &[u64], a: aig::Lit, b: aig::Lit) -> (aig::Lit, aig::Lit) {
+    if edge_sig(sig, a) <= edge_sig(sig, b) {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// A 128-bit structural cache key, rendered as 32 hex digits — stable
+/// across processes and usable directly as a spill file name.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct CacheKey(String);
+
+impl CacheKey {
+    /// The key as a hex string.
+    pub fn as_hex(&self) -> &str {
+        &self.0
+    }
+}
+
+impl std::fmt::Display for CacheKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// The structural cache key of an (already canonical) circuit pair:
+/// 128 bits of FNV-1a over the canonical AIGER bytes of both circuits,
+/// from two passes with distinct domain-separation prefixes.
+pub fn cache_key(canon_a: &Aig, canon_b: &Aig) -> CacheKey {
+    let mut bytes = Vec::new();
+    aig::aiger::write_ascii(canon_a, &mut bytes).expect("write to Vec cannot fail");
+    bytes.push(b'|');
+    aig::aiger::write_ascii(canon_b, &mut bytes).expect("write to Vec cannot fail");
+    let lo = fnv1a64(&bytes);
+    bytes.push(0xFF);
+    let hi = fnv1a64(&bytes);
+    CacheKey(format!("{hi:016x}{lo:016x}"))
+}
+
+/// A query pair in canonical form, with its cache key.
+///
+/// The service proves the *canonical* pair rather than the raw one:
+/// verdicts transfer directly (canonicalization preserves the
+/// input/output interface, so a counterexample pattern or an
+/// equivalence verdict means the same thing for the raw pair), and the
+/// engine's determinism then makes certificates byte-identical across
+/// isomorphic queries — a cache hit returns the very bytes a fresh
+/// proof would have produced.
+#[derive(Clone, Debug)]
+pub struct CanonicalPair {
+    /// Canonical form of the first circuit.
+    pub a: Aig,
+    /// Canonical form of the second circuit.
+    pub b: Aig,
+    /// Structural key of the pair.
+    pub key: CacheKey,
+}
+
+impl CanonicalPair {
+    /// Canonicalizes a query pair and derives its key.
+    pub fn new(a: &Aig, b: &Aig) -> Self {
+        let a = canonical_form(a);
+        let b = canonical_form(b);
+        let key = cache_key(&a, &b);
+        CanonicalPair { a, b, key }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aig::gen::{kogge_stone_adder, mutate, ripple_carry_adder};
+
+    fn ascii(g: &Aig) -> Vec<u8> {
+        let mut v = Vec::new();
+        aig::aiger::write_ascii(g, &mut v).unwrap();
+        v
+    }
+
+    #[test]
+    fn canonical_form_preserves_function() {
+        let g = kogge_stone_adder(6);
+        let c = canonical_form(&g);
+        assert_eq!(c.num_inputs(), g.num_inputs());
+        assert_eq!(c.num_outputs(), g.num_outputs());
+        assert_eq!(aig::sim::exhaustive_diff(&g, &c, 13), None);
+    }
+
+    #[test]
+    fn isomorphic_graphs_share_canonical_bytes() {
+        let g = kogge_stone_adder(7);
+        let base = ascii(&canonical_form(&g));
+        let mut changed = 0;
+        for seed in [3u64, 17, 92] {
+            let renumbered = g.permute_rebuild(seed);
+            if ascii(&g) != ascii(&renumbered) {
+                changed += 1;
+            }
+            assert_eq!(
+                base,
+                ascii(&canonical_form(&renumbered)),
+                "canonical form erases the renumbering (seed {seed})"
+            );
+        }
+        assert!(changed > 0, "at least one permutation moved the bytes");
+    }
+
+    #[test]
+    fn canonicalization_is_idempotent() {
+        let g = kogge_stone_adder(5);
+        let once = canonical_form(&g);
+        let twice = canonical_form(&once);
+        assert_eq!(ascii(&once), ascii(&twice));
+    }
+
+    #[test]
+    fn near_miss_changes_the_key() {
+        let a = ripple_carry_adder(6);
+        let b = kogge_stone_adder(6);
+        let base = CanonicalPair::new(&a, &b).key;
+        // Isomorphic restatement of the same pair: same key.
+        assert_eq!(
+            CanonicalPair::new(&a.permute_rebuild(5), &b.permute_rebuild(9)).key,
+            base
+        );
+        // One-gate mutants: different logic, different key.
+        let mut mutants = 0;
+        for seed in 0..20 {
+            let Some(m) = mutate(&b, seed) else { continue };
+            if aig::sim::exhaustive_diff(&b, &m, 13).is_none() {
+                continue; // mutation landed on redundant logic
+            }
+            mutants += 1;
+            assert_ne!(
+                CanonicalPair::new(&a, &m).key,
+                base,
+                "one-gate mutant (seed {seed}) must miss"
+            );
+        }
+        assert!(mutants > 0, "at least one differing mutant exercised");
+    }
+}

@@ -1,0 +1,37 @@
+//! Cross-query certificate cache for the CEC service.
+//!
+//! A long-running checker sees the same queries again and again —
+//! regression reruns, repeated CI batches, the same IP block
+//! instantiated under different node numberings. This crate lets a
+//! service answer those repeats from memory while keeping the paper's
+//! central property intact: **no verdict is ever served on trust**.
+//!
+//! - [`canonical_form`] rewrites an AIG into a node-order-independent
+//!   normal form, so structurally isomorphic circuits (same logic,
+//!   different node numbering or fanin order) map to identical bytes.
+//! - [`CanonicalPair`] canonicalizes a query pair and derives its
+//!   128-bit FNV [`CacheKey`]. The engine is pointed at the *canonical*
+//!   pair, so isomorphic queries don't just hit the same slot — they
+//!   reproduce byte-identical certificates.
+//! - [`CertCache`] is an LRU of proven verdicts (refutation bytes for
+//!   equivalent pairs, counterexample patterns for inequivalent ones)
+//!   with an optional on-disk spill tier. Every hit is re-validated
+//!   before it is served: certificates are replayed through
+//!   `proof::check::check_refutation` and re-bound to the pair's miter
+//!   CNF, counterexamples are re-evaluated on both circuits. An entry
+//!   that fails replay — bit rot, a corrupted spill file, a poisoned
+//!   cache — is dropped and reported as a miss, never served.
+//!
+//! The replay-before-serve invariant is structural: the only way to get
+//! a verdict out of [`CertCache::lookup`] is through
+//! [`validate`](CachedVerdict), so a poisoned entry cannot reach a
+//! client. The `chaos` crate's fault modes are used in this crate's
+//! tests to prove exactly that.
+
+#![warn(missing_docs)]
+
+mod canon;
+mod store;
+
+pub use canon::{cache_key, canonical_form, CacheKey, CanonicalPair};
+pub use store::{CacheConfig, CacheStats, CachedVerdict, CertCache};

@@ -1,8 +1,8 @@
 //! `rbench` — ramping-load throughput observatory.
 //!
 //! ```text
-//! rbench run WORKLOAD.toml [--out=FILE] [--date=YYYY-MM-DD] [--zoo] [--quiet]
-//! rbench snapshot [--out=FILE] [--date=YYYY-MM-DD] [--quiet]
+//! rbench run WORKLOAD.toml [--daemon=ADDR] [--out=FILE] [--date=YYYY-MM-DD] [--zoo] [--quiet]
+//! rbench snapshot [--share-learnts] [--out=FILE] [--date=YYYY-MM-DD] [--quiet]
 //! rbench compare OLD.json NEW.json [--threshold=FRAC]
 //! rbench report FILE.json [--out=FILE]
 //! ```
@@ -19,13 +19,24 @@
 //! embedded `metrics-v1` snapshot per step. `--zoo` additionally runs
 //! the classic t7 single-run zoo into the `runs` array.
 //!
+//! Scenarios marked `daemon = true` in the workload are driven over TCP
+//! against a `rcecd` service instead of in-process: each serving thread
+//! holds one connection, latencies include the socket round trip, and
+//! step results gain `cache_hits` / `cache_hit_rate` columns plus
+//! server-side metrics snapshots. `--daemon=ADDR` points them at an
+//! external daemon; without it `rbench` starts an in-process one on a
+//! loopback port for the duration of the run.
+//!
 //! `snapshot` is the `bench-v1`-compatible path `scripts/
 //! bench_snapshot.sh` now delegates to: the t7 mixed-hardness zoo,
 //! every pair × {static, adaptive} × {1, 4} threads, run in-process
 //! with the host census taken from `std::thread::available_parallelism`
 //! (the old Python fold-up recorded the sandboxed interpreter's
 //! `os.cpu_count()`, which is how the seeded snapshot came to claim
-//! `"cpus": 1`).
+//! `"cpus": 1`). `--share-learnts` turns on worker-to-worker
+//! learnt-clause sharing for the multi-threaded cells, so a pair of
+//! snapshots (without, then with) isolates the sharing effect — the
+//! EXPERIMENTS.md before/after comparison.
 //!
 //! `compare` diffs two trajectories (`bench-v1` or `bench-v2`, mixed
 //! freely): run cells on `stats.elapsed_us`, scenario cells on
@@ -41,8 +52,9 @@ use obs::json::Value;
 use std::fs;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: rbench run WORKLOAD [--out=FILE] [--date=YYYY-MM-DD] [--zoo] [--quiet]
-       rbench snapshot [--out=FILE] [--date=YYYY-MM-DD] [--quiet]
+const USAGE: &str =
+    "usage: rbench run WORKLOAD [--daemon=ADDR] [--out=FILE] [--date=YYYY-MM-DD] [--zoo] [--quiet]
+       rbench snapshot [--share-learnts] [--out=FILE] [--date=YYYY-MM-DD] [--quiet]
        rbench compare OLD.json NEW.json [--threshold=FRAC]
        rbench report FILE.json [--out=FILE]";
 
@@ -59,7 +71,15 @@ fn main() -> ExitCode {
 fn run() -> Result<i32, String> {
     let args = Args::parse(
         std::env::args().skip(1),
-        &["out", "date", "zoo", "quiet", "threshold"],
+        &[
+            "out",
+            "date",
+            "zoo",
+            "quiet",
+            "threshold",
+            "daemon",
+            "share-learnts",
+        ],
     )
     .map_err(|e| e.to_string())?;
     let sub = args.positional.first().map(String::as_str);
@@ -89,17 +109,25 @@ fn cmd_run(args: &Args) -> Result<i32, String> {
     let quiet = args.has("quiet");
     let text = fs::read_to_string(workload_path).map_err(|e| format!("{workload_path}: {e}"))?;
     let workload = loadgen::Workload::parse(&text)?;
+    let mut daemon = DaemonHandle::new(args.value("daemon"));
 
     let mut scenarios = Vec::new();
     for scenario in &workload.scenarios {
         for &threads in &scenario.threads {
             if !quiet {
-                eprintln!("ramping {} t{threads} ...", scenario.name);
+                eprintln!(
+                    "ramping {} t{threads}{} ...",
+                    scenario.name,
+                    if scenario.daemon { " (daemon)" } else { "" }
+                );
             }
             let mut on_step = |s: &loadgen::StepResult| {
                 if !quiet {
+                    let hits = s.cache_hits.map_or(String::new(), |h| {
+                        format!(", {h}/{} cache hits", s.requests)
+                    });
                     eprintln!(
-                        "  {:>7.1} rps: {}/{} ok, p95 {:.1} ms -> {}",
+                        "  {:>7.1} rps: {}/{} ok, p95 {:.1} ms{hits} -> {}",
                         s.rps,
                         s.completed,
                         s.requests,
@@ -108,7 +136,12 @@ fn cmd_run(args: &Args) -> Result<i32, String> {
                     );
                 }
             };
-            let cell = loadgen::run_scenario(scenario, threads, &workload.ramp, &mut on_step);
+            let cell = if scenario.daemon {
+                let addr = daemon.addr(quiet)?;
+                loadgen::run_scenario_daemon(scenario, threads, &workload.ramp, addr, &mut on_step)?
+            } else {
+                loadgen::run_scenario(scenario, threads, &workload.ramp, &mut on_step)
+            };
             if !quiet {
                 eprintln!(
                     "  max sustainable: {:.1} rps over {} steps",
@@ -119,6 +152,7 @@ fn cmd_run(args: &Args) -> Result<i32, String> {
             scenarios.push(cell.to_json());
         }
     }
+    daemon.stop();
     let runs = if args.has("zoo") {
         snapshot_zoo(quiet)
     } else {
@@ -129,13 +163,67 @@ fn cmd_run(args: &Args) -> Result<i32, String> {
     Ok(exit::OK)
 }
 
+/// The `rcecd` behind daemon-backed scenarios: an external address from
+/// `--daemon=ADDR`, or an in-process server started lazily on loopback
+/// the first time a scenario needs one (and shut down afterwards) so
+/// `rbench run` exercises the real network path out of the box.
+struct DaemonHandle {
+    external: Option<String>,
+    local: Option<(String, std::thread::JoinHandle<()>)>,
+}
+
+impl DaemonHandle {
+    fn new(external: Option<&str>) -> DaemonHandle {
+        DaemonHandle {
+            external: external.map(str::to_string),
+            local: None,
+        }
+    }
+
+    fn addr(&mut self, quiet: bool) -> Result<&str, String> {
+        if let Some(addr) = &self.external {
+            return Ok(addr);
+        }
+        if self.local.is_none() {
+            let server = serve::Server::bind(serve::ServerConfig {
+                addr: "127.0.0.1:0".to_string(),
+                metrics: obs::metrics::Metrics::new(),
+                ..serve::ServerConfig::default()
+            })
+            .map_err(|e| format!("in-process rcecd: {e}"))?;
+            let addr = server.local_addr().map_err(|e| e.to_string())?.to_string();
+            let handle = std::thread::spawn(move || {
+                let _ = server.run();
+            });
+            if !quiet {
+                eprintln!("started in-process rcecd on {addr} (use --daemon=ADDR to override)");
+            }
+            self.local = Some((addr, handle));
+        }
+        Ok(&self.local.as_ref().expect("just started").0)
+    }
+
+    fn stop(&mut self) {
+        if let Some((addr, handle)) = self.local.take() {
+            if let Ok(mut client) = serve::Client::connect(&addr) {
+                let _ = client.shutdown();
+            }
+            let _ = handle.join();
+        }
+    }
+}
+
 fn cmd_snapshot(args: &Args) -> Result<i32, String> {
     if args.positional.len() != 1 {
         return Err(USAGE.into());
     }
     let quiet = args.has("quiet");
     let date = date_for(args);
-    let runs = snapshot_zoo(quiet);
+    let runs = loadgen::snapshot_runs_with(args.has("share-learnts"), &mut |label| {
+        if !quiet {
+            eprintln!("zoo: {label}");
+        }
+    });
     let n = runs.len();
     let doc = loadgen::bench_doc(&date, "t7-mixed-zoo", runs, Vec::new());
     let default_out = format!("BENCH_{date}.json");

@@ -3,12 +3,13 @@
 //! ```text
 //! rcec A.aag B.aag [--monolithic] [--bdd] [--no-struct] [--no-share]
 //!      [--no-sweep] [--limit=N] [--threads=N] [--pairs-per-worker=N]
-//!      [--engine=static|adaptive]
+//!      [--engine=static|adaptive] [--share-learnts]
 //!      [--proof=FILE] [--trim] [--lint-proof] [--lint-bundle]
 //!      [--emit-miter=FILE] [--emit-cnf=FILE] [--emit-cert=FILE]
 //!      [--trace-out=FILE] [--trace-chrome=FILE] [--stats-json=FILE]
-//!      [--metrics-out=FILE] [--metrics-period-ms=N]
+//!      [--metrics-out=FILE] [--metrics-period-ms=N] [--metrics-status[=FILE]]
 //!      [--check] [--verbose] [--quiet]
+//! rcec query ADDR A.aag B.aag [--proof=FILE] [--quiet]
 //! ```
 //!
 //! `--threads=N` shards the sweeping phase over `N` worker threads with
@@ -17,6 +18,18 @@
 //! thread count. `--pairs-per-worker=N` pins each round's window of
 //! candidate pairs per worker; by default the window is auto-tuned
 //! between rounds from the observed per-worker conflict imbalance.
+//! `--share-learnts` additionally publishes each worker's learnt
+//! clauses through the clause feed so sibling workers can import them;
+//! every imported clause is re-derived into the importer's local proof,
+//! so the stitched global proof stays self-contained (this changes
+//! which conflicts each worker sees, so proof *bytes* differ from the
+//! unshared schedule — verdicts and checkability do not).
+//!
+//! `rcec query` is the client mode: instead of proving locally it sends
+//! the pair to a running `rcecd` daemon (see `rcecd --help`) and prints
+//! the verdict the same way — exit 0 equivalent, 1 inequivalent,
+//! 2 error. `--proof=FILE` saves the returned TraceCheck certificate;
+//! whether the answer was a certificate-cache hit is noted on stderr.
 //!
 //! `--engine=adaptive` turns on per-pair dispatch driven by the static
 //! hardness analysis (crate `analysis`, also exposed as `ranalyze`):
@@ -56,8 +69,11 @@
 //! counters, queue-depth gauges, per-worker rates, process RSS) to
 //! FILE as JSON Lines every `--metrics-period-ms` (default 100), plus
 //! a final snapshot at shutdown — the time-series view of a run, where
-//! `--stats-json` is the post-mortem. Metric names are listed in
-//! DESIGN.md.
+//! `--stats-json` is the post-mortem. `--metrics-status` renders the
+//! same samples as one compact `key=value` line per period instead —
+//! to stderr when bare, to a `tail -f`-able FILE with
+//! `--metrics-status=FILE`; both formats can be active at once. Metric
+//! names are listed in DESIGN.md.
 //!
 //! `--bdd` uses the canonical-form ROBDD baseline: fastest on small
 //! structured circuits, but produces no proof and may answer UNDECIDED
@@ -97,6 +113,7 @@ fn run() -> Result<i32, String> {
             "threads",
             "pairs-per-worker",
             "engine",
+            "share-learnts",
             "proof",
             "trim",
             "lint-proof",
@@ -109,22 +126,27 @@ fn run() -> Result<i32, String> {
             "stats-json",
             "metrics-out",
             "metrics-period-ms",
+            "metrics-status",
             "check",
             "verbose",
             "quiet",
         ],
     )
     .map_err(|e| e.to_string())?;
+    if args.positional.first().map(String::as_str) == Some("query") {
+        return run_query(&args);
+    }
     if args.positional.len() != 2 {
         return Err(
             "usage: rcec A.aag B.aag [--monolithic] [--no-struct] [--no-share] \
                     [--no-sweep] [--limit=N] [--threads=N] [--pairs-per-worker=N] \
-                    [--engine=static|adaptive] \
+                    [--engine=static|adaptive] [--share-learnts] \
                     [--proof=FILE] [--trim] [--lint-proof] [--lint-bundle] \
                     [--emit-miter=FILE] [--emit-cnf=FILE] [--emit-cert=FILE] \
                     [--trace-out=FILE] [--trace-chrome=FILE] [--stats-json=FILE] \
-                    [--metrics-out=FILE] [--metrics-period-ms=N] \
-                    [--check] [--verbose] [--quiet]"
+                    [--metrics-out=FILE] [--metrics-period-ms=N] [--metrics-status[=FILE]] \
+                    [--check] [--verbose] [--quiet]\n       \
+             rcec query ADDR A.aag B.aag [--proof=FILE] [--quiet]"
                 .into(),
         );
     }
@@ -140,7 +162,8 @@ fn run() -> Result<i32, String> {
     let trace_flags = args.value("trace-out").is_some()
         || args.value("trace-chrome").is_some()
         || args.value("stats-json").is_some()
-        || args.value("metrics-out").is_some();
+        || args.value("metrics-out").is_some()
+        || args.has("metrics-status");
     if trace_flags && args.has("bdd") {
         return Err(
             "--trace-out/--trace-chrome/--stats-json/--metrics-out need the \
@@ -151,7 +174,7 @@ fn run() -> Result<i32, String> {
     let quiet = args.has("quiet");
     let verbose = args.has("verbose");
     let recorder = trace::recorder_for(&args);
-    let (metrics, sampler) = trace::metrics_for(&args)?;
+    let (metrics, samplers) = trace::metrics_for(&args)?;
     let read = |path: &str| -> Result<aig::Aig, String> {
         let f = File::open(path).map_err(|e| format!("{path}: {e}"))?;
         aig::aiger::read(BufReader::new(f)).map_err(|e| format!("{path}: {e}"))
@@ -237,12 +260,15 @@ fn run() -> Result<i32, String> {
                 other => return Err(format!("--engine: unknown engine '{other}'")),
             };
         }
+        if args.has("share-learnts") {
+            options.share_learnts = true;
+        }
         Prover::new(options).prove(&a, &b)
     }
     .map_err(|e| e.to_string())?;
 
-    if let Some(sampler) = sampler {
-        let lines = sampler.stop().map_err(|e| format!("--metrics-out: {e}"))?;
+    for sampler in samplers {
+        let lines = sampler.stop().map_err(|e| format!("metrics: {e}"))?;
         if !quiet {
             eprintln!("metrics: {lines} snapshots");
         }
@@ -360,5 +386,53 @@ fn run() -> Result<i32, String> {
             println!("outputs B: {}", show(&counterexample.outputs_b));
             Ok(exit::NEGATIVE)
         }
+    }
+}
+
+/// `rcec query ADDR A.aag B.aag`: send the pair to a running `rcecd`
+/// and print the verdict with the local tool's conventions.
+fn run_query(args: &Args) -> Result<i32, String> {
+    let [_, addr, path_a, path_b] = args.positional.as_slice() else {
+        return Err("usage: rcec query ADDR A.aag B.aag [--proof=FILE] [--quiet]".into());
+    };
+    let quiet = args.has("quiet");
+    let read = |path: &str| -> Result<aig::Aig, String> {
+        let f = File::open(path).map_err(|e| format!("{path}: {e}"))?;
+        aig::aiger::read(BufReader::new(f)).map_err(|e| format!("{path}: {e}"))
+    };
+    let a = read(path_a)?;
+    let b = read(path_b)?;
+    let mut client = serve::Client::connect(addr)?;
+    let reply = client.check(&a, &b)?;
+    if !quiet {
+        eprintln!(
+            "rcecd {}: cache {} in {} us",
+            addr,
+            if reply.cache_hit { "hit" } else { "miss" },
+            reply.elapsed_us
+        );
+    }
+    if reply.equivalent {
+        if let Some(path) = args.value("proof") {
+            let cert = reply
+                .certificate
+                .as_deref()
+                .ok_or("daemon reply carried no certificate")?;
+            let f = File::create(path).map_err(|e| format!("{path}: {e}"))?;
+            let mut w = BufWriter::new(f);
+            w.write_all(cert.as_bytes())
+                .and_then(|()| w.flush())
+                .map_err(|e| format!("{path}: {e}"))?;
+            if !quiet {
+                eprintln!("proof written to {path}");
+            }
+        }
+        println!("EQUIVALENT");
+        Ok(exit::OK)
+    } else {
+        println!("INEQUIVALENT");
+        let bits = reply.pattern.as_deref().unwrap_or("");
+        println!("input  (lsb first): {bits}");
+        Ok(exit::NEGATIVE)
     }
 }

@@ -122,14 +122,19 @@ pub mod trace {
         Ok(())
     }
 
-    /// Builds the run's live-metrics registry and sampler from the
-    /// common `--metrics-out=FILE` / `--metrics-period-ms=N` flags:
-    /// with `--metrics-out` the registry is enabled and a background
-    /// [`obs::metrics::Sampler`] appends one `metrics-v1` snapshot per
-    /// period (default 100 ms) to FILE as JSON Lines; without it the
-    /// registry is disabled and every engine-side update costs one
-    /// branch. Call [`obs::metrics::Sampler::stop`] on the returned
-    /// sampler after the run to flush the final snapshot.
+    /// Builds the run's live-metrics registry and samplers from the
+    /// common `--metrics-out=FILE` / `--metrics-status[=FILE]` /
+    /// `--metrics-period-ms=N` flags: with either output flag the
+    /// registry is enabled and a background [`obs::metrics::Sampler`]
+    /// per output appends one record per period (default 100 ms);
+    /// without both the registry is disabled and every engine-side
+    /// update costs one branch. `--metrics-out` writes `metrics-v1`
+    /// snapshots as JSON Lines; `--metrics-status` writes one compact
+    /// `key=value` status line per period — to FILE (`tail -f`-able)
+    /// when given a value, to stderr when bare. Both may be active at
+    /// once, sharing the one registry. Call
+    /// [`obs::metrics::Sampler::stop`] on every returned sampler after
+    /// the run to flush the final record.
     ///
     /// # Errors
     ///
@@ -137,10 +142,29 @@ pub mod trace {
     /// failure as `path: cause`.
     pub fn metrics_for(
         args: &Args,
-    ) -> Result<(obs::metrics::Metrics, Option<obs::metrics::Sampler>), String> {
-        let Some(path) = args.value("metrics-out") else {
-            return Ok((obs::metrics::Metrics::disabled(), None));
-        };
+    ) -> Result<(obs::metrics::Metrics, Vec<obs::metrics::Sampler>), String> {
+        if args.value("metrics-out").is_none() && !args.has("metrics-status") {
+            return Ok((obs::metrics::Metrics::disabled(), Vec::new()));
+        }
+        let metrics = obs::metrics::Metrics::new();
+        let samplers = samplers_for(args, &metrics)?;
+        Ok((metrics, samplers))
+    }
+
+    /// Starts the samplers requested by `--metrics-out` /
+    /// `--metrics-status` against an existing registry — the
+    /// long-running-daemon variant of [`metrics_for`], for processes
+    /// (like `rcecd`) whose registry must be live even when nothing
+    /// samples it.
+    ///
+    /// # Errors
+    ///
+    /// Same diagnostics as [`metrics_for`].
+    pub fn samplers_for(
+        args: &Args,
+        metrics: &obs::metrics::Metrics,
+    ) -> Result<Vec<obs::metrics::Sampler>, String> {
+        use obs::metrics::{SampleFormat, Sampler};
         let period_ms: u64 = match args.value("metrics-period-ms") {
             Some(v) => v
                 .parse()
@@ -149,14 +173,33 @@ pub mod trace {
                 .ok_or_else(|| format!("--metrics-period-ms: bad period `{v}`"))?,
             None => 100,
         };
-        let f = File::create(path).map_err(|e| format!("{path}: {e}"))?;
-        let metrics = obs::metrics::Metrics::new();
-        let sampler = obs::metrics::Sampler::start(
-            metrics.clone(),
-            std::time::Duration::from_millis(period_ms),
-            BufWriter::new(f),
-        );
-        Ok((metrics, Some(sampler)))
+        let period = std::time::Duration::from_millis(period_ms);
+        let mut samplers = Vec::new();
+        if let Some(path) = args.value("metrics-out") {
+            let f = File::create(path).map_err(|e| format!("{path}: {e}"))?;
+            samplers.push(Sampler::start(metrics.clone(), period, BufWriter::new(f)));
+        }
+        if args.has("metrics-status") {
+            let sampler = match args.value("metrics-status") {
+                Some(path) => {
+                    let f = File::create(path).map_err(|e| format!("{path}: {e}"))?;
+                    Sampler::start_with(
+                        metrics.clone(),
+                        period,
+                        BufWriter::new(f),
+                        SampleFormat::Status,
+                    )
+                }
+                None => Sampler::start_with(
+                    metrics.clone(),
+                    period,
+                    std::io::stderr(),
+                    SampleFormat::Status,
+                ),
+            };
+            samplers.push(sampler);
+        }
+        Ok(samplers)
     }
 
     /// Writes a JSON value to `path`, newline-terminated (the payload of

@@ -27,9 +27,8 @@
 
 use crate::journal::Durable;
 use crate::miter::Miter;
-use crate::outcome::{
-    CecError, CecOutcome, Certificate, Counterexample, DispatchStats, EngineStats, WorkerStats,
-};
+use crate::outcome::{CecError, CecOutcome, DispatchStats, EngineStats, WorkerStats};
+use crate::session::{EngineConfig, Session, SharedContext};
 use crate::sim::SimClasses;
 use aig::{Aig, NodeId};
 use cnf::tseitin::Partition;
@@ -39,7 +38,7 @@ use obs::metrics::{self, Metrics};
 use obs::{worker_tid, ArgVal, Recorder, TID_COORDINATOR};
 use proof::{ClauseId, StepRole};
 use sat::{SolveResult, Solver};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::time::Instant;
 
 /// Which discharge-scheduling policy the sweeping engine uses.
@@ -110,6 +109,12 @@ pub struct CecOptions {
     pub pairs_per_worker: Option<usize>,
     /// Discharge-scheduling policy; see [`EngineSelect`].
     pub engine: EngineSelect,
+    /// Share worker learnt clauses between parallel-sweep workers
+    /// through the clause feed; see
+    /// [`EngineConfig::share_learnts`](crate::EngineConfig::share_learnts).
+    /// Off by default — proofs then stay byte-identical to builds
+    /// without sharing.
+    pub share_learnts: bool,
     /// Record a resolution proof.
     pub proof: bool,
     /// Run the static-analysis lint pass over the recorded proof before
@@ -156,12 +161,65 @@ impl Default for CecOptions {
             threads: 1,
             pairs_per_worker: None,
             engine: EngineSelect::Static,
+            share_learnts: false,
             proof: true,
             lint_proof: false,
             lint_bundle: false,
             verify: false,
             recorder: Recorder::disabled(),
             metrics: Metrics::disabled(),
+        }
+    }
+}
+
+impl CecOptions {
+    /// Splits the flat options into the session layer's two halves: the
+    /// pure-knob [`EngineConfig`] and the shared-handle
+    /// [`SharedContext`]. The handles are `Arc`-backed, so the split is
+    /// cheap and the returned context observes the same recorder and
+    /// metrics registry as the original options.
+    pub fn split(&self) -> (EngineConfig, SharedContext) {
+        (
+            EngineConfig {
+                sim_words: self.sim_words,
+                seed: self.seed,
+                share_structure: self.share_structure,
+                structural_merging: self.structural_merging,
+                sweep: self.sweep,
+                pair_conflict_limit: self.pair_conflict_limit,
+                threads: self.threads,
+                pairs_per_worker: self.pairs_per_worker,
+                engine: self.engine,
+                share_learnts: self.share_learnts,
+                proof: self.proof,
+                lint_proof: self.lint_proof,
+                lint_bundle: self.lint_bundle,
+                verify: self.verify,
+            },
+            SharedContext::new(self.recorder.clone(), self.metrics.clone()),
+        )
+    }
+
+    /// Reassembles flat options from the two session-layer halves —
+    /// the inverse of [`CecOptions::split`].
+    pub fn from_parts(config: &EngineConfig, ctx: &SharedContext) -> Self {
+        CecOptions {
+            sim_words: config.sim_words,
+            seed: config.seed,
+            share_structure: config.share_structure,
+            structural_merging: config.structural_merging,
+            sweep: config.sweep,
+            pair_conflict_limit: config.pair_conflict_limit,
+            threads: config.threads,
+            pairs_per_worker: config.pairs_per_worker,
+            engine: config.engine,
+            share_learnts: config.share_learnts,
+            proof: config.proof,
+            lint_proof: config.lint_proof,
+            lint_bundle: config.lint_bundle,
+            verify: config.verify,
+            recorder: ctx.recorder.clone(),
+            metrics: ctx.metrics.clone(),
         }
     }
 }
@@ -227,186 +285,8 @@ impl Prover {
         b: &Aig,
         durable: &mut Durable,
     ) -> Result<CecOutcome, CecError> {
-        if a.num_inputs() != b.num_inputs() || a.num_outputs() != b.num_outputs() {
-            return Err(CecError::InterfaceMismatch {
-                a: (a.num_inputs(), a.num_outputs()),
-                b: (b.num_inputs(), b.num_outputs()),
-            });
-        }
-        if a.num_outputs() == 0 {
-            return Err(CecError::NoOutputs);
-        }
-        let start = Instant::now();
-        let m = &self.options.metrics;
-        m.counter("cec.checks_started").inc();
-        durable.bind_metrics(m);
-        let rec = &self.options.recorder;
-        let miter = Miter::build(a, b, self.options.share_structure);
-        let miter_time = start.elapsed();
-        rec.complete("miter", TID_COORDINATOR, start, miter_time);
-        durable.checkpoint(
-            "miter",
-            &[
-                ("nodes", Value::U64(miter.graph.len() as u64)),
-                ("output", Value::U64(u64::from(miter.output.raw()))),
-            ],
-        )?;
-        // Clause-side labels for interpolation are only meaningful when
-        // no logic is shared across the two circuits.
-        let boundary = (!self.options.share_structure).then_some(miter.a_boundary);
-        let mut sweep = Sweep::new(&miter.graph, &self.options, boundary);
-        sweep.stats.miter_nodes = miter.graph.len();
-        sweep.stats.circuit_nodes = miter.circuit_nodes;
-        sweep.stats.phases.miter = miter_time;
-
-        if self.options.sweep {
-            let sweep_start = Instant::now();
-            if self.options.threads > 1 {
-                sweep.run_parallel(self.options.threads, durable)?;
-            } else {
-                sweep
-                    .solver
-                    .set_conflict_budget(self.options.pair_conflict_limit);
-                sweep.run(durable)?;
-                sweep.solver.set_conflict_budget(None);
-            }
-            let sweep_time = sweep_start.elapsed();
-            rec.complete("sweep", TID_COORDINATOR, sweep_start, sweep_time);
-            // Simulation was timed inside run(); keep the phases disjoint.
-            sweep.stats.phases.sweep = sweep_time.saturating_sub(sweep.stats.phases.sim);
-        }
-
-        // Assert the miter output and ask for the final verdict.
-        let out_lit = sweep.lit(miter.output);
-        let out_id = sweep.solver.add_clause(&[out_lit]);
-        if let (Some(sides), Some(id)) = (&mut sweep.sides, out_id) {
-            sides.push((id, Partition::B));
-        }
-        let final_start = Instant::now();
-        let result = sweep.solver.solve();
-        sweep.stats.phases.final_solve = final_start.elapsed();
-        rec.complete(
-            "final_solve",
-            TID_COORDINATOR,
-            final_start,
-            sweep.stats.phases.final_solve,
-        );
-        durable.checkpoint(
-            "final_solve",
-            &[(
-                "result",
-                Value::str(match result {
-                    SolveResult::Sat => "sat",
-                    SolveResult::Unsat => "unsat",
-                    SolveResult::Unknown => "unknown",
-                }),
-            )],
-        )?;
-        let mut stats = sweep.finish(start);
-
-        match result {
-            SolveResult::Unknown => unreachable!("final solve runs without a budget"),
-            SolveResult::Unsat => {
-                let empty = sweep.solver.empty_clause_id();
-                let partition = sweep.sides.take();
-                let proof = sweep.solver.into_proof();
-                let mut lint_report = None;
-                if let Some(p) = &proof {
-                    stats.proof = Some(p.stats());
-                    if self.options.verify {
-                        let check_start = Instant::now();
-                        proof::check::check_refutation(p).map_err(CecError::ProofRejected)?;
-                        stats.phases.check = check_start.elapsed();
-                        stats.check_elapsed = Some(stats.phases.check);
-                        rec.complete("check", TID_COORDINATOR, check_start, stats.phases.check);
-                    }
-                    let trim_start = Instant::now();
-                    let t = proof::trim_refutation(p);
-                    stats.trimmed = Some(t.proof.stats());
-                    stats.phases.trim = trim_start.elapsed();
-                    rec.complete("trim", TID_COORDINATOR, trim_start, stats.phases.trim);
-                    durable.checkpoint("trim", &[("steps", Value::U64(t.proof.len() as u64))])?;
-                    if self.options.lint_proof || self.options.lint_bundle {
-                        let lint_start = Instant::now();
-                        let lint_opts = lint::LintOptions {
-                            expect_refutation: true,
-                            stitch_boundaries: stats.stitch_boundaries.clone(),
-                            ..lint::LintOptions::default()
-                        };
-                        let mut report = lint::lint_proof(p, &lint_opts);
-                        if self.options.lint_bundle {
-                            let bundle_cnf = miter_cnf(&miter);
-                            let info = lint::CertificateInfo {
-                                empty_clause: empty.map(ClauseId::index),
-                                rounds: Some(stats.rounds),
-                                stitch_boundaries: stats.stitch_boundaries.clone(),
-                                original: Some(p.num_original()),
-                                derived: Some(p.num_derived()),
-                                resolutions: Some(p.num_resolutions()),
-                            };
-                            let mut bundle = lint::lint_bundle(
-                                &lint::Bundle {
-                                    aig: Some(&miter.graph),
-                                    cnf: Some(&bundle_cnf),
-                                    proof: Some(p),
-                                    certificate: Some(&info),
-                                },
-                                &lint_opts,
-                            );
-                            bundle.absorb(report);
-                            report = bundle;
-                        }
-                        stats.lints = Some(report.counts());
-                        lint_report = Some(report);
-                        stats.phases.lint = lint_start.elapsed();
-                        rec.complete("lint", TID_COORDINATOR, lint_start, stats.phases.lint);
-                    }
-                }
-                let proof_hash = proof.as_ref().map(|p| {
-                    let mut bytes = Vec::new();
-                    proof::export::write_tracecheck(p, &mut bytes)
-                        .expect("write to Vec cannot fail");
-                    obs::hash::fnv1a64_hex(&bytes)
-                });
-                durable.verdict(true, proof_hash.as_deref(), None)?;
-                m.counter("cec.checks_completed").inc();
-                m.counter("cec.certificates_emitted").inc();
-                stats.elapsed = start.elapsed();
-                Ok(CecOutcome::Equivalent(Box::new(Certificate {
-                    proof,
-                    empty_clause: empty,
-                    partition,
-                    stats,
-                    lint_report,
-                })))
-            }
-            SolveResult::Sat => {
-                let pattern: Vec<bool> = miter
-                    .graph
-                    .inputs()
-                    .iter()
-                    .map(|n| sweep.solver.model_value(Var::new(n.index())))
-                    .collect();
-                let outputs_a = a.evaluate(&pattern);
-                let outputs_b = b.evaluate(&pattern);
-                let counterexample = Counterexample {
-                    pattern,
-                    outputs_a,
-                    outputs_b,
-                };
-                if self.options.verify && counterexample.outputs_a == counterexample.outputs_b {
-                    return Err(CecError::BogusCounterexample(counterexample));
-                }
-                durable.verdict(false, None, Some(&counterexample.pattern))?;
-                m.counter("cec.checks_completed").inc();
-                m.counter("cec.counterexamples").inc();
-                stats.elapsed = start.elapsed();
-                Ok(CecOutcome::Inequivalent {
-                    counterexample,
-                    stats,
-                })
-            }
-        }
+        let (config, ctx) = self.options.split();
+        Session::new(config, &ctx).check_durable(a, b, durable)
     }
 }
 
@@ -458,13 +338,11 @@ pub fn reduce(graph: &Aig, options: &CecOptions) -> Aig {
 /// `elapsed` covers the sweep and the rebuild.
 pub fn reduce_with_stats(graph: &Aig, options: &CecOptions) -> (Aig, EngineStats) {
     let start = Instant::now();
-    let local = CecOptions {
-        proof: false,
-        verify: false,
-        ..options.clone()
-    };
-    let rec = &local.recorder;
-    let mut sweep = Sweep::new(graph, &local, None);
+    let (mut local, ctx) = options.split();
+    local.proof = false;
+    local.verify = false;
+    let rec = &ctx.recorder;
+    let mut sweep = Sweep::new(graph, &local, &ctx, None);
     sweep.stats.miter_nodes = graph.len();
     sweep.stats.circuit_nodes = graph.len();
     if local.sweep {
@@ -550,7 +428,28 @@ struct FeedClause {
     /// already committed the canonical lemma locally and skips the
     /// entry. `None` for snapshot and structural-merge clauses.
     origin: Option<usize>,
+    /// The clause is a shared worker learnt (not a lemma or an original
+    /// snapshot clause); counted separately on import.
+    learnt: bool,
 }
+
+/// Maximum literal count of a learnt clause exported for cross-worker
+/// sharing: short clauses prune the most search per byte shipped.
+const SHARE_LEARNT_MAX_LEN: usize = 8;
+
+/// Maximum learnt clauses one worker exports per round, bounding feed
+/// growth (every export is replayed by every other worker).
+const SHARE_LEARNT_MAX_PER_ROUND: usize = 32;
+
+/// What [`WorkerState::round`] hands back: verdicts in discovery order,
+/// the round's counters, dispatch/import counters, and any learnt
+/// clauses drained for sharing.
+type RoundOutput = (
+    Vec<(usize, PairVerdict)>,
+    WorkerStats,
+    DispatchStats,
+    Vec<(Vec<Lit>, Option<ClauseId>)>,
+);
 
 /// One round's work order for a parallel-sweep worker thread: the
 /// worker's own state (shipped back and forth so the sequential merge
@@ -568,8 +467,13 @@ struct WorkerReport {
     results: Vec<(usize, PairVerdict)>,
     stats: WorkerStats,
     /// BDD-probe counters of this round (budget counters are recorded
-    /// by the coordinator, which issues the dispatches).
+    /// by the coordinator, which issues the dispatches), plus this
+    /// round's learnt import count.
     dispatch: DispatchStats,
+    /// Learnt clauses drained from the worker's solver this round for
+    /// cross-worker sharing, as `(literals, local proof id)`. Empty
+    /// unless [`EngineConfig::share_learnts`] is on.
+    learnts: Vec<(Vec<Lit>, Option<ClauseId>)>,
 }
 
 /// A persistent parallel-sweep worker: a private incremental SAT solver
@@ -584,6 +488,8 @@ struct WorkerState {
     /// sync; derived steps are filled by [`proof::Proof::merge_cone`].
     translation: Vec<Option<ClauseId>>,
     proof_mode: bool,
+    /// Export learnt clauses for cross-worker sharing each round.
+    share_learnts: bool,
     /// Trace recorder (shared with the coordinator) and this worker's
     /// logical thread id in the trace.
     recorder: Recorder,
@@ -596,8 +502,10 @@ struct WorkerState {
 }
 
 impl WorkerState {
+    #[allow(clippy::too_many_arguments)]
     fn new(
         proof_mode: bool,
+        share_learnts: bool,
         num_vars: u32,
         budget: Option<u64>,
         recorder: Recorder,
@@ -617,6 +525,7 @@ impl WorkerState {
             solver,
             translation: Vec::new(),
             proof_mode,
+            share_learnts,
             recorder,
             tid,
             m_sat_calls: metrics.counter(&format!("cec.worker{w}.sat_calls")),
@@ -628,10 +537,15 @@ impl WorkerState {
     /// Replays the feed entries added since the last round, skipping
     /// the clauses this worker proved itself (already present locally;
     /// their proof steps are translated at merge time instead).
-    fn sync(&mut self, me: usize, delta: &[FeedClause]) {
+    /// Returns the number of learnt-flagged clauses imported.
+    fn sync(&mut self, me: usize, delta: &[FeedClause]) -> u64 {
+        let mut learnts_imported = 0;
         for fc in delta {
             if fc.origin == Some(me) {
                 continue;
+            }
+            if fc.learnt {
+                learnts_imported += 1;
             }
             let local = self.solver.add_clause(&fc.lits);
             if self.proof_mode {
@@ -643,6 +557,7 @@ impl WorkerState {
                 self.translation[local] = fc.id;
             }
         }
+        learnts_imported
     }
 
     /// Runs one round: catches up with the feed, then discharges the
@@ -655,23 +570,35 @@ impl WorkerState {
         graph: &Aig,
         delta: &[FeedClause],
         shard: &[(usize, NodeId, Lit, Dispatch)],
-    ) -> (Vec<(usize, PairVerdict)>, WorkerStats, DispatchStats) {
+    ) -> RoundOutput {
         let start = Instant::now();
         let mut span = self.recorder.span("worker_round", self.tid);
         span.arg("pairs", shard.len());
         span.arg("feed_delta", delta.len());
         let conflicts_before = self.solver.stats().conflicts;
         let mut stats = WorkerStats::default();
-        let mut dstats = DispatchStats::default();
-        self.sync(me, delta);
+        let mut dstats = DispatchStats {
+            learnts_imported: self.sync(me, delta),
+            ..DispatchStats::default()
+        };
         let mut results = Vec::with_capacity(shard.len());
         for &(pair_idx, n, target, d) in shard {
             let verdict = self.dispatch_pair(graph, n, target, d, &mut stats, &mut dstats);
             results.push((pair_idx, verdict));
         }
+        // Offer this round's freshly learnt clauses for cross-worker
+        // sharing. The drain cursor is monotone, so a clause is only
+        // ever offered once; short clauses first-come (insertion order),
+        // which is deterministic given the shard and feed history.
+        let learnts = if self.share_learnts {
+            self.solver
+                .drain_new_learnts(SHARE_LEARNT_MAX_LEN, SHARE_LEARNT_MAX_PER_ROUND)
+        } else {
+            Vec::new()
+        };
         stats.conflicts = self.solver.stats().conflicts - conflicts_before;
         stats.elapsed = start.elapsed();
-        (results, stats, dstats)
+        (results, stats, dstats, learnts)
     }
 
     /// The worker-side counterpart of [`Sweep::dispatch_pair`]: optional
@@ -1027,6 +954,8 @@ struct SweepMetrics {
     deferred: metrics::Counter,
     retried: metrics::Counter,
     bdd_calls: metrics::Counter,
+    /// Learnt clauses exported to the feed for cross-worker sharing.
+    learnts_shared: metrics::Counter,
     /// Live candidate pairs remaining in the simulation classes.
     queue_candidates: metrics::Gauge,
     /// Budget-exhausted pairs parked in the adaptive hard queue.
@@ -1045,16 +974,18 @@ impl SweepMetrics {
             deferred: m.counter("cec.dispatch.deferred"),
             retried: m.counter("cec.dispatch.retried"),
             bdd_calls: m.counter("cec.dispatch.bdd_calls"),
+            learnts_shared: m.counter("cec.learnts_shared"),
             queue_candidates: m.gauge("cec.queue.candidates"),
             queue_hard: m.gauge("cec.queue.hard"),
         }
     }
 }
 
-struct Sweep<'g> {
+pub(crate) struct Sweep<'g> {
     graph: &'g Aig,
-    options: &'g CecOptions,
-    solver: Solver,
+    config: &'g EngineConfig,
+    ctx: &'g SharedContext,
+    pub(crate) solver: Solver,
     /// Tseitin definition clause ids per AND node: `[t1, t2, t3]` for
     /// `(¬x∨a) (¬x∨b) (x∨¬a∨¬b)`.
     and_defs: Vec<Option<[Option<ClauseId>; 3]>>,
@@ -1063,24 +994,27 @@ struct Sweep<'g> {
     struct_table: HashMap<(u64, u64), NodeId>,
     /// Interpolation partition of the original clauses (tracked when a
     /// circuit-A boundary is given and proofs are on).
-    sides: Option<Vec<(ClauseId, Partition)>>,
-    stats: EngineStats,
+    pub(crate) sides: Option<Vec<(ClauseId, Partition)>>,
+    pub(crate) stats: EngineStats,
     metrics: SweepMetrics,
 }
 
 impl<'g> Sweep<'g> {
     /// `a_boundary`: first node index holding circuit-B-only logic, when
     /// the caller wants original clauses labeled for interpolation.
-    fn new(graph: &'g Aig, options: &'g CecOptions, a_boundary: Option<usize>) -> Self {
-        let mut solver = if options.proof {
+    pub(crate) fn new(
+        graph: &'g Aig,
+        config: &'g EngineConfig,
+        ctx: &'g SharedContext,
+        a_boundary: Option<usize>,
+    ) -> Self {
+        let mut solver = if config.proof {
             Solver::with_proof()
         } else {
             Solver::new()
         };
         solver.ensure_vars(graph.len() as u32);
-        let mut sides = a_boundary
-            .filter(|_| options.proof)
-            .map(|b| (b, Vec::new()));
+        let mut sides = a_boundary.filter(|_| config.proof).map(|b| (b, Vec::new()));
         let mut record = |id: Option<ClauseId>, node: usize| {
             if let (Some((boundary, sides)), Some(id)) = (&mut sides, id) {
                 let side = if node < *boundary {
@@ -1110,19 +1044,20 @@ impl<'g> Sweep<'g> {
         }
         Sweep {
             graph,
-            options,
+            config,
+            ctx,
             solver,
             and_defs,
             rep: vec![None; graph.len()],
             struct_table: HashMap::new(),
             sides: sides.map(|(_, v)| v),
             stats: EngineStats::default(),
-            metrics: SweepMetrics::new(&options.metrics),
+            metrics: SweepMetrics::new(&ctx.metrics),
         }
     }
 
     /// Solver literal of an AIG edge.
-    fn lit(&self, l: aig::Lit) -> Lit {
+    pub(crate) fn lit(&self, l: aig::Lit) -> Lit {
         node_lit(l)
     }
 
@@ -1145,7 +1080,7 @@ impl<'g> Sweep<'g> {
         let phase = link.phase ^ plink.phase;
         let vn = Var::new(n.index());
         let root_lit = Var::new(root.index()).lit(phase);
-        let lemma = if self.options.proof {
+        let lemma = if self.config.proof {
             let (pf, pb) = (
                 plink.fwd.expect("proof mode lemma"),
                 plink.bwd.expect("proof mode lemma"),
@@ -1195,13 +1130,10 @@ impl<'g> Sweep<'g> {
     /// phase into [`PhaseTimes::sim`](crate::outcome::PhaseTimes::sim).
     fn simulate_classes(&mut self) -> SimClasses {
         let sim_start = Instant::now();
-        let classes = SimClasses::from_random_simulation(
-            self.graph,
-            self.options.sim_words,
-            self.options.seed,
-        );
+        let classes =
+            SimClasses::from_random_simulation(self.graph, self.config.sim_words, self.config.seed);
         self.stats.phases.sim = sim_start.elapsed();
-        self.options.recorder.complete(
+        self.ctx.recorder.complete(
             "simulation",
             TID_COORDINATOR,
             sim_start,
@@ -1217,7 +1149,7 @@ impl<'g> Sweep<'g> {
     fn record_refinement(&mut self, n: NodeId) {
         self.stats.refinements += 1;
         self.metrics.refinements.inc();
-        self.options.recorder.instant(
+        self.ctx.recorder.instant(
             "refine",
             TID_COORDINATOR,
             &[
@@ -1256,16 +1188,16 @@ impl<'g> Sweep<'g> {
     /// with the whole-instance hardness score) when adaptive mode is
     /// selected; `None` in static mode.
     fn adaptive_policy(&mut self) -> Option<AdaptivePolicy> {
-        if self.options.engine != EngineSelect::Adaptive {
+        if self.config.engine != EngineSelect::Adaptive {
             return None;
         }
         let analysis_start = Instant::now();
-        let (policy, score) = AdaptivePolicy::new(self.graph, self.options.pair_conflict_limit);
+        let (policy, score) = AdaptivePolicy::new(self.graph, self.config.pair_conflict_limit);
         self.stats.dispatch = Some(DispatchStats {
             score,
             ..DispatchStats::default()
         });
-        self.options.recorder.complete(
+        self.ctx.recorder.complete(
             "analysis",
             TID_COORDINATOR,
             analysis_start,
@@ -1274,14 +1206,14 @@ impl<'g> Sweep<'g> {
         Some(policy)
     }
 
-    fn run(&mut self, durable: &mut Durable) -> Result<(), CecError> {
+    pub(crate) fn run(&mut self, durable: &mut Durable) -> Result<(), CecError> {
         let mut classes = self.simulate_classes();
         self.sim_checkpoint(&classes, durable)?;
         let policy = self.adaptive_policy();
         // Adaptive hard queue: `(node, root, phase)` pairs whose budget
         // ran out, retried after the main sweep instead of being lost.
         let mut deferred: Vec<(NodeId, NodeId, bool)> = Vec::new();
-        let watch_queues = self.options.metrics.is_enabled();
+        let watch_queues = self.ctx.metrics.is_enabled();
         if watch_queues {
             #[allow(clippy::cast_possible_wrap)]
             self.metrics
@@ -1301,7 +1233,7 @@ impl<'g> Sweep<'g> {
             }
             // Structural merging first: free if the fanins' reps match a
             // previously processed node.
-            if self.options.structural_merging {
+            if self.config.structural_merging {
                 if let Some(()) = self.try_structural_merge(n) {
                     classes.remove(n);
                     continue;
@@ -1314,7 +1246,7 @@ impl<'g> Sweep<'g> {
                 let phase = pm ^ compl;
                 let target = Var::new(root.index()).lit(phase);
                 let dispatch = policy.as_ref().map_or_else(
-                    || Dispatch::fixed(self.options.pair_conflict_limit),
+                    || Dispatch::fixed(self.config.pair_conflict_limit),
                     |p| p.dispatch(n, root, &self.stats.sat_conflict_hist),
                 );
                 match self.dispatch_pair(n, target, dispatch) {
@@ -1475,19 +1407,35 @@ impl<'g> Sweep<'g> {
     /// candidate work (merged/skipped nodes leave their classes; each
     /// applied refutation either splits a class or was subsumed by an
     /// earlier split this round), so the loop terminates.
-    fn run_parallel(&mut self, threads: usize, durable: &mut Durable) -> Result<(), CecError> {
+    pub(crate) fn run_parallel(
+        &mut self,
+        threads: usize,
+        durable: &mut Durable,
+    ) -> Result<(), CecError> {
         let mut classes = self.simulate_classes();
         self.sim_checkpoint(&classes, durable)?;
         self.stats.workers = vec![WorkerStats::default(); threads];
 
         let num_vars = self.solver.num_vars();
-        let proof_mode = self.options.proof;
-        let budget = self.options.pair_conflict_limit;
+        let proof_mode = self.config.proof;
+        let share_learnts = self.config.share_learnts;
+        let budget = self.config.pair_conflict_limit;
         let graph = self.graph;
         let policy = self.adaptive_policy();
+        if share_learnts {
+            // Sharing counters live in the dispatch stats; make sure the
+            // block exists even in static mode.
+            self.stats
+                .dispatch
+                .get_or_insert_with(DispatchStats::default);
+        }
+        // Canonical literal sets of learnt clauses already shared, so
+        // the same clause (re-derived by several workers) enters the
+        // feed only once.
+        let mut shared_learnt_set: HashSet<Vec<Lit>> = HashSet::new();
         // Per-worker window: pinned by the flag, else auto-tuned between
         // rounds from the observed conflict imbalance.
-        let pinned = self.options.pairs_per_worker;
+        let pinned = self.config.pairs_per_worker;
         let mut per_worker = pinned.unwrap_or(8).max(1);
         if let Some(p) = self.solver.proof() {
             // Anchor of the stitch segments: everything appended between
@@ -1505,6 +1453,7 @@ impl<'g> Sweep<'g> {
                 lits: ls.to_vec(),
                 id,
                 origin: None,
+                learnt: false,
             })
             .collect();
         // Feed entries already shipped to the workers (all workers stay
@@ -1517,11 +1466,12 @@ impl<'g> Sweep<'g> {
             .map(|w| {
                 Some(WorkerState::new(
                     proof_mode,
+                    share_learnts,
                     num_vars,
                     budget,
-                    self.options.recorder.clone(),
+                    self.ctx.recorder.clone(),
                     worker_tid(w),
-                    &self.options.metrics,
+                    &self.ctx.metrics,
                     w,
                 ))
             })
@@ -1546,13 +1496,15 @@ impl<'g> Sweep<'g> {
                             delta,
                             shard,
                         } = job;
-                        let (results, stats, dispatch) = state.round(w, graph, &delta, &shard);
+                        let (results, stats, dispatch, learnts) =
+                            state.round(w, graph, &delta, &shard);
                         if report_tx
                             .send(WorkerReport {
                                 state,
                                 results,
                                 stats,
                                 dispatch,
+                                learnts,
                             })
                             .is_err()
                         {
@@ -1568,7 +1520,7 @@ impl<'g> Sweep<'g> {
             let mut deferred: Vec<(NodeId, NodeId, bool)> = Vec::new();
             loop {
                 // Phase 1: structural merges over a rebuilt table.
-                if self.options.structural_merging {
+                if self.config.structural_merging {
                     let structural_start = Instant::now();
                     self.struct_table.clear();
                     for idx in 1..self.graph.len() {
@@ -1585,17 +1537,19 @@ impl<'g> Sweep<'g> {
                                 lits: vec![vn.negative(), root],
                                 id: link.fwd,
                                 origin: None,
+                                learnt: false,
                             });
                             feed.push(FeedClause {
                                 lits: vec![vn.positive(), !root],
                                 id: link.bwd,
                                 origin: None,
+                                learnt: false,
                             });
                         } else {
                             self.register_structure(n);
                         }
                     }
-                    self.options.recorder.complete(
+                    self.ctx.recorder.complete(
                         "structural_pass",
                         TID_COORDINATOR,
                         structural_start,
@@ -1641,7 +1595,7 @@ impl<'g> Sweep<'g> {
                 }
                 self.stats.rounds += 1;
                 self.metrics.rounds.inc();
-                if self.options.metrics.is_enabled() {
+                if self.ctx.metrics.is_enabled() {
                     // num_candidates is a class scan; only pay it when
                     // someone is watching.
                     #[allow(clippy::cast_possible_wrap)]
@@ -1652,7 +1606,7 @@ impl<'g> Sweep<'g> {
                     self.metrics.queue_hard.set(deferred.len() as i64);
                 }
                 self.stats.pair_windows.push(per_worker as u32);
-                let mut round_span = self.options.recorder.span("round", TID_COORDINATOR);
+                let mut round_span = self.ctx.recorder.span("round", TID_COORDINATOR);
                 round_span.arg("round", self.stats.rounds);
                 round_span.arg("pairs", pairs.len());
 
@@ -1693,14 +1647,19 @@ impl<'g> Sweep<'g> {
                     .collect();
 
                 // Phase 4: merge results in worker-then-discovery order.
-                let stitch_span = self.options.recorder.span("stitch", TID_COORDINATOR);
+                let stitch_span = self.ctx.recorder.span("stitch", TID_COORDINATOR);
                 let mut round_conflicts: Vec<u64> = Vec::with_capacity(threads);
                 for (w, report) in reports.into_iter().enumerate() {
-                    states[w] = Some(report.state);
-                    let (results, round_stats) = (report.results, report.stats);
+                    let WorkerReport {
+                        state,
+                        results,
+                        stats: round_stats,
+                        dispatch: wd,
+                        learnts,
+                    } = report;
+                    states[w] = Some(state);
                     round_conflicts.push(round_stats.conflicts);
                     if let Some(ds) = self.stats.dispatch.as_mut() {
-                        let wd = &report.dispatch;
                         self.metrics.bdd_calls.add(wd.bdd_calls);
                         ds.sat_budgeted += wd.sat_budgeted;
                         ds.sat_unbudgeted += wd.sat_unbudgeted;
@@ -1708,6 +1667,7 @@ impl<'g> Sweep<'g> {
                         ds.bdd_refuted += wd.bdd_refuted;
                         ds.bdd_confirmed += wd.bdd_confirmed;
                         ds.bdd_overflow += wd.bdd_overflow;
+                        ds.learnts_imported += wd.learnts_imported;
                         if wd.budget_min != 0
                             && (ds.budget_min == 0 || wd.budget_min < ds.budget_min)
                         {
@@ -1742,7 +1702,7 @@ impl<'g> Sweep<'g> {
                         .merge(&round_stats.lemma_chain_hist);
 
                     if proof_mode {
-                        let roots: Vec<ClauseId> = results
+                        let mut roots: Vec<ClauseId> = results
                             .iter()
                             .filter_map(|(_, verdict)| match verdict {
                                 PairVerdict::Proved { fwd, bwd } => Some([*fwd, *bwd]),
@@ -1751,6 +1711,10 @@ impl<'g> Sweep<'g> {
                             .flatten()
                             .flatten()
                             .collect();
+                        // Shared learnt clauses are stitched exactly like
+                        // lemmas: their whole derivation cone joins the
+                        // global proof before the clause is fed onward.
+                        roots.extend(learnts.iter().filter_map(|(_, id)| *id));
                         let WorkerState {
                             solver,
                             translation,
@@ -1780,11 +1744,13 @@ impl<'g> Sweep<'g> {
                                     lits: vec![vn.negative(), target],
                                     id: fwd,
                                     origin: Some(w),
+                                    learnt: false,
                                 });
                                 feed.push(FeedClause {
                                     lits: vec![vn.positive(), !target],
                                     id: bwd,
                                     origin: Some(w),
+                                    learnt: false,
                                 });
                                 self.rep[n.as_usize()] = Some(MergeLink {
                                     parent: root,
@@ -1812,6 +1778,43 @@ impl<'g> Sweep<'g> {
                                 }
                                 classes.remove(n);
                             }
+                        }
+                    }
+                    // Publish this worker's drained learnt clauses: the
+                    // derivations were already stitched above (the ids
+                    // were merge roots), so the translated global step
+                    // backs each clause in the global database and feed.
+                    if share_learnts && !learnts.is_empty() {
+                        let mut shared_now = 0u64;
+                        for (lits, local_id) in learnts {
+                            let mut key = lits.clone();
+                            key.sort_unstable();
+                            if !shared_learnt_set.insert(key) {
+                                continue;
+                            }
+                            let gid = if proof_mode {
+                                Some(
+                                    local_id
+                                        .and_then(|id| translation[id.as_usize()])
+                                        .expect("drained learnt is a merge root"),
+                                )
+                            } else {
+                                None
+                            };
+                            self.solver.add_proved_clause(&lits, gid);
+                            feed.push(FeedClause {
+                                lits,
+                                id: gid,
+                                origin: Some(w),
+                                learnt: true,
+                            });
+                            shared_now += 1;
+                        }
+                        if shared_now > 0 {
+                            if let Some(ds) = self.stats.dispatch.as_mut() {
+                                ds.learnts_shared += shared_now;
+                            }
+                            self.metrics.learnts_shared.add(shared_now);
                         }
                     }
                 }
@@ -1902,7 +1905,7 @@ impl<'g> Sweep<'g> {
             &mut self.solver,
             assumptions,
             n,
-            &self.options.recorder,
+            &self.ctx.recorder,
             TID_COORDINATOR,
             &mut self.stats.sat_conflict_hist,
             &self.metrics.sat_calls,
@@ -1914,7 +1917,7 @@ impl<'g> Sweep<'g> {
     /// canonical two-literal lemma form by weakening.
     fn commit_lemma(&mut self, canonical: &[Lit]) -> Option<ClauseId> {
         let committed = self.solver.commit_final_clause();
-        if self.options.proof {
+        if self.config.proof {
             let id = committed.expect("proof mode final clause id");
             if let Some(p) = self.solver.proof() {
                 self.stats
@@ -1955,7 +1958,7 @@ impl<'g> Sweep<'g> {
         let &m = self.struct_table.get(&key)?;
         debug_assert_ne!(m, n);
         // n ≡ m exactly (phases are part of the key).
-        let lemma = if self.options.proof {
+        let lemma = if self.config.proof {
             Some(self.derive_structural(n, m, (fa, ra, lemma_a), (fb, rb, lemma_b)))
         } else {
             None
@@ -1984,7 +1987,7 @@ impl<'g> Sweep<'g> {
             Some((nf, nb)) => (Some(nf), Some(nb)),
             None => (None, None),
         };
-        if !self.options.proof {
+        if !self.config.proof {
             // Without proofs we still need the lemma clauses in the
             // database for later calls to use.
             let vn = Var::new(n.index());
@@ -2002,7 +2005,7 @@ impl<'g> Sweep<'g> {
         self.stats.lemmas += 2;
         self.metrics.structural_merges.inc();
         self.metrics.lemmas.add(2);
-        self.options.recorder.instant(
+        self.ctx.recorder.instant(
             "structural_merge",
             TID_COORDINATOR,
             &[
@@ -2098,7 +2101,7 @@ impl<'g> Sweep<'g> {
 
     /// Registers `n`'s rep-normalized structure for future merges.
     fn register_structure(&mut self, n: NodeId) {
-        if !self.options.structural_merging {
+        if !self.config.structural_merging {
             return;
         }
         if self.rep[n.as_usize()].is_some() {
@@ -2115,7 +2118,7 @@ impl<'g> Sweep<'g> {
         self.struct_table.entry(structure_key(ra, rb)).or_insert(n);
     }
 
-    fn finish(&mut self, _start: Instant) -> EngineStats {
+    pub(crate) fn finish(&mut self, _start: Instant) -> EngineStats {
         let mut stats = std::mem::take(&mut self.stats);
         stats.solver = *self.solver.stats();
         stats
@@ -2375,6 +2378,74 @@ mod tests {
     }
 
     #[test]
+    fn parallel_learnt_sharing_proof_checks() {
+        use aig::gen::{array_multiplier, carry_save_multiplier};
+        let a = array_multiplier(4);
+        let b = carry_save_multiplier(4);
+        let opts = CecOptions {
+            threads: 3,
+            share_learnts: true,
+            verify: true,
+            lint_bundle: true,
+            ..CecOptions::default()
+        };
+        let outcome = prove(&a, &b, opts);
+        let cert = outcome.certificate().expect("equivalent");
+        proof::check::check_refutation(cert.proof.as_ref().unwrap()).unwrap();
+        let lints = cert.stats.lints.as_ref().expect("bundle lint ran");
+        assert_eq!(lints.errors, 0, "shared-learnt proof is lint-clean");
+        let ds = cert
+            .stats
+            .dispatch
+            .as_ref()
+            .expect("sharing seeds the dispatch stats block");
+        assert!(
+            ds.learnts_shared > 0,
+            "multiplier sweep shares learnt clauses: {ds}"
+        );
+        assert!(
+            ds.learnts_imported > 0,
+            "other workers import shared clauses: {ds}"
+        );
+    }
+
+    #[test]
+    fn parallel_learnt_sharing_is_deterministic() {
+        use aig::gen::{array_multiplier, carry_save_multiplier};
+        let a = array_multiplier(3);
+        let b = carry_save_multiplier(3);
+        let opts = CecOptions {
+            threads: 2,
+            share_learnts: true,
+            ..CecOptions::default()
+        };
+        let run = || {
+            let outcome = prove(&a, &b, opts.clone());
+            let cert = outcome.certificate().expect("equivalent");
+            tracecheck_bytes(cert.proof.as_ref().unwrap())
+        };
+        assert_eq!(run(), run(), "sharing preserves per-config determinism");
+    }
+
+    #[test]
+    fn parallel_learnt_sharing_finds_counterexamples() {
+        let a = ripple_carry_adder(4);
+        let b = (0..40)
+            .filter_map(|s| mutate(&a, s))
+            .find(|m| aig::sim::exhaustive_diff(&a, m, 8).is_some())
+            .expect("differing mutant");
+        let opts = CecOptions {
+            threads: 2,
+            share_learnts: true,
+            verify: true,
+            ..CecOptions::default()
+        };
+        let outcome = prove(&a, &b, opts);
+        let cex = outcome.counterexample().expect("inequivalent");
+        assert_ne!(cex.outputs_a, cex.outputs_b);
+    }
+
+    #[test]
     fn parallel_reduce_matches_sequential_semantics() {
         use aig::gen::random_aig;
         let base = random_aig(8, 60, 4, 9);
@@ -2566,7 +2637,7 @@ mod tests {
 
         let events = recorder.take_events();
         assert!(!events.is_empty());
-        let names: std::collections::HashSet<&str> = events.iter().map(|e| e.name).collect();
+        let names: HashSet<&str> = events.iter().map(|e| e.name).collect();
         for phase in [
             "miter",
             "simulation",
@@ -2579,7 +2650,7 @@ mod tests {
             assert!(names.contains(phase), "missing phase span {phase}");
         }
         // SAT-call spans from both workers, on distinct nonzero tids.
-        let worker_tids: std::collections::HashSet<u32> = events
+        let worker_tids: HashSet<u32> = events
             .iter()
             .filter(|e| e.name == "sat_call" && e.tid != TID_COORDINATOR)
             .map(|e| e.tid)

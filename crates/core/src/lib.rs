@@ -9,6 +9,9 @@
 //!
 //! - [`Prover`] / [`CecOptions`]: the sweeping engine (see
 //!   [`engine`](crate::Prover) for the algorithm).
+//! - [`Session`] / [`EngineConfig`] / [`SharedContext`]: the session
+//!   layer — one check as a cheap object over shared immutable state,
+//!   for services that run many checks per process.
 //! - [`monolithic::prove_monolithic`]: the single-SAT-call baseline.
 //! - [`Miter`]: both circuits in one AIG over shared inputs.
 //! - [`SimClasses`]: simulation-derived candidate equivalence classes.
@@ -42,6 +45,7 @@ pub mod journal;
 mod miter;
 pub mod monolithic;
 mod outcome;
+mod session;
 mod sim;
 mod stats_json;
 
@@ -52,4 +56,5 @@ pub use outcome::{
     CecError, CecOutcome, Certificate, Counterexample, DispatchStats, EngineStats, PhaseTimes,
     WorkerStats,
 };
+pub use session::{EngineConfig, Session, SharedContext};
 pub use sim::SimClasses;

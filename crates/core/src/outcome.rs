@@ -123,13 +123,19 @@ pub struct DispatchStats {
     pub budget_min: u64,
     /// Largest conflict budget issued.
     pub budget_max: u64,
+    /// Worker learnt clauses exported through the clause feed (parallel
+    /// sweep with learnt-clause sharing enabled).
+    pub learnts_shared: u64,
+    /// Shared learnt clauses imported by workers from the feed (each
+    /// shared clause is imported by every worker except its origin).
+    pub learnts_imported: u64,
 }
 
 impl fmt::Display for DispatchStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "score={:.3} sat={}b/{}u bdd={}({}r/{}c/{}o) deferred={} retried={} budget={}..{}",
+            "score={:.3} sat={}b/{}u bdd={}({}r/{}c/{}o) deferred={} retried={} budget={}..{} learnts={}s/{}i",
             self.score,
             self.sat_budgeted,
             self.sat_unbudgeted,
@@ -140,7 +146,9 @@ impl fmt::Display for DispatchStats {
             self.deferred,
             self.retried,
             self.budget_min,
-            self.budget_max
+            self.budget_max,
+            self.learnts_shared,
+            self.learnts_imported
         )
     }
 }

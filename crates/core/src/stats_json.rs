@@ -83,6 +83,8 @@ fn dispatch_json(d: &DispatchStats) -> Value {
         ("retried", Value::U64(d.retried)),
         ("budget_min", Value::U64(d.budget_min)),
         ("budget_max", Value::U64(d.budget_max)),
+        ("learnts_shared", Value::U64(d.learnts_shared)),
+        ("learnts_imported", Value::U64(d.learnts_imported)),
     ])
 }
 

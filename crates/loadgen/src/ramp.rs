@@ -22,6 +22,13 @@
 //! Every completed request was a full [`cec::Prover`] run; engine
 //! errors and wrong verdicts count as failures, so sustainable rates
 //! are rates of *certified* answers.
+//!
+//! [`run_scenario_daemon`] is the network variant: the same open-loop
+//! ramp, but each serving thread holds one TCP connection to a running
+//! `rcecd` service and every request is a full socket round trip —
+//! AIGER out, verdict + certificate back. Latencies then include
+//! serialization, the wire, and the daemon's queueing; step results
+//! additionally count how many replies were certificate-cache hits.
 
 use crate::workload::{RampConfig, Scenario};
 use obs::json::Value;
@@ -55,13 +62,17 @@ pub struct StepResult {
     pub elapsed_us: u64,
     /// Whether the step met both success criteria.
     pub passed: bool,
+    /// Replies served from the daemon's certificate cache; `None` for
+    /// in-process cells (which have no cache in front of the engine).
+    pub cache_hits: Option<u64>,
 }
 
 impl StepResult {
     /// The step as a JSON object (one element of `steps` in
-    /// `bench-v2`).
+    /// `bench-v2`). Daemon-backed cells add `cache_hits` and
+    /// `cache_hit_rate` (hits over *offered* requests) columns.
     pub fn to_json(&self) -> Value {
-        Value::Object(vec![
+        let mut members = vec![
             ("rps".into(), Value::F64(self.rps)),
             ("requests".into(), Value::U64(self.requests)),
             ("completed".into(), Value::U64(self.completed)),
@@ -72,7 +83,18 @@ impl StepResult {
             ("max_us".into(), Value::U64(self.max_us)),
             ("elapsed_us".into(), Value::U64(self.elapsed_us)),
             ("passed".into(), Value::Bool(self.passed)),
-        ])
+        ];
+        if let Some(hits) = self.cache_hits {
+            members.push(("cache_hits".into(), Value::U64(hits)));
+            #[allow(clippy::cast_precision_loss)]
+            let rate = if self.requests == 0 {
+                0.0
+            } else {
+                hits as f64 / self.requests as f64
+            };
+            members.push(("cache_hit_rate".into(), Value::F64(rate)));
+        }
+        Value::Object(members)
     }
 }
 
@@ -96,9 +118,13 @@ pub struct RampResult {
     /// Highest offered rate whose step passed; `0` if even the first
     /// step failed.
     pub max_sustainable_rps: f64,
-    /// One `metrics-v1` snapshot per step boundary (`seq` = step
-    /// index), from the cell's private registry.
+    /// One `metrics-v1` snapshot per step boundary — from the cell's
+    /// private registry (`seq` = step index) for in-process cells, or
+    /// fetched from the daemon's registry over the `metrics` protocol
+    /// request for daemon-backed cells.
     pub metrics: Vec<Value>,
+    /// The `rcecd` address this cell was driven against, if any.
+    pub daemon: Option<String>,
 }
 
 impl RampResult {
@@ -127,6 +153,9 @@ impl RampResult {
         ];
         if let Some(band) = &self.band {
             members.push(("band".into(), Value::str(band)));
+        }
+        if let Some(daemon) = &self.daemon {
+            members.push(("daemon".into(), Value::str(daemon)));
         }
         members.push(("ramp".into(), ramp));
         members.push((
@@ -175,8 +204,15 @@ pub fn run_scenario(
     let mut snapshots: Vec<Value> = Vec::new();
     let mut rps = ramp.initial_rps;
     let mut seq = 0u64;
+    let make_check = || {
+        let (prover, a, b) = (&prover, &a, &b);
+        move || {
+            let ok = matches!(prover.prove(a, b), Ok(ref o) if o.is_equivalent());
+            (ok, false)
+        }
+    };
     while rps <= ramp.max_rps + 1e-9 {
-        let step = run_step(&prover, &a, &b, threads, rps, ramp, &latency);
+        let step = run_step(threads, rps, ramp, &latency, false, &make_check);
         if let Some(snap) = metrics.snapshot(seq) {
             snapshots.push(snap);
         }
@@ -192,6 +228,98 @@ pub fn run_scenario(
         }
         rps += ramp.increment_rps;
     }
+    finish_cell(scenario, threads, ramp, steps, snapshots, None)
+}
+
+/// Runs the full ramp for one (scenario, thread-count) cell against a
+/// running `rcecd` daemon at `addr` — the network counterpart of
+/// [`run_scenario`]. Each serving thread opens its own TCP connection
+/// and every request is one `check` round trip: AIGER text out,
+/// verdict + certificate + `cache_hit` flag back. Latency (still
+/// measured from the scheduled arrival) therefore includes
+/// serialization, the wire, and the daemon's own queueing and worker
+/// pool; the per-step `cache_hits` column counts replies the daemon
+/// served from its certificate cache. Step-boundary metrics snapshots
+/// are fetched from the daemon's registry, so they expose the
+/// server-side `cec.cache.*` and `serve.*` counters.
+///
+/// Note the pair is generated once and re-sent every request, so after
+/// the daemon's first miss the cell exercises the cache-hit path — by
+/// design: the cell measures the *service* (wire + cache + replay
+/// validation), where [`run_scenario`] measures the engine.
+///
+/// # Errors
+///
+/// Fails fast if the daemon at `addr` cannot be reached or does not
+/// answer a ping; mid-ramp connection failures count as request
+/// failures instead.
+///
+/// # Panics
+///
+/// As [`run_scenario`], if the scenario's family is unknown or a
+/// serving thread panics.
+pub fn run_scenario_daemon(
+    scenario: &Scenario,
+    threads: usize,
+    ramp: &RampConfig,
+    addr: &str,
+    progress: &mut dyn FnMut(&StepResult),
+) -> Result<RampResult, String> {
+    let (a, b) = aig::gen::family_pair(&scenario.family, scenario.width)
+        .unwrap_or_else(|| panic!("unknown family `{}`", scenario.family));
+    let mut probe = serve::Client::connect(addr)?;
+    probe.ping()?;
+    // The client-side registry only feeds the latency histogram; the
+    // embedded snapshots come from the daemon.
+    let metrics = Metrics::new();
+    let latency = metrics.histogram("rbench.latency_us");
+
+    let mut steps: Vec<StepResult> = Vec::new();
+    let mut snapshots: Vec<Value> = Vec::new();
+    let mut rps = ramp.initial_rps;
+    let make_check = || {
+        let mut client = serve::Client::connect(addr).ok();
+        let (a, b) = (&a, &b);
+        move || match client.as_mut() {
+            None => (false, false),
+            Some(c) => match c.check(a, b) {
+                Ok(reply) => (reply.equivalent, reply.cache_hit),
+                Err(_) => (false, false),
+            },
+        }
+    };
+    while rps <= ramp.max_rps + 1e-9 {
+        let step = run_step(threads, rps, ramp, &latency, true, &make_check);
+        if let Ok(snap) = probe.metrics() {
+            snapshots.push(snap);
+        }
+        progress(&step);
+        let passed = step.passed;
+        steps.push(step);
+        if !passed || ramp.increment_rps <= 0.0 {
+            break;
+        }
+        rps += ramp.increment_rps;
+    }
+    Ok(finish_cell(
+        scenario,
+        threads,
+        ramp,
+        steps,
+        snapshots,
+        Some(addr.to_string()),
+    ))
+}
+
+/// Folds a finished ramp's steps and snapshots into the cell result.
+fn finish_cell(
+    scenario: &Scenario,
+    threads: usize,
+    ramp: &RampConfig,
+    steps: Vec<StepResult>,
+    snapshots: Vec<Value>,
+    daemon: Option<String>,
+) -> RampResult {
     let max_sustainable_rps = steps
         .iter()
         .filter(|s| s.passed)
@@ -207,6 +335,7 @@ pub fn run_scenario(
         steps,
         max_sustainable_rps,
         metrics: snapshots,
+        daemon,
     }
 }
 
@@ -216,19 +345,27 @@ struct StepState {
     next: AtomicUsize,
     completed: AtomicU64,
     failed: AtomicU64,
+    cache_hits: AtomicU64,
     latencies: Mutex<LogHistogram>,
 }
 
+/// The open-loop core shared by the in-process and daemon drivers.
+/// `make_check` is invoked once *inside* each serving thread to build
+/// that thread's request closure (a per-thread engine handle or TCP
+/// connection); the closure returns `(ok, cache_hit)` per request.
 #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
-fn run_step(
-    prover: &cec::Prover,
-    a: &aig::Aig,
-    b: &aig::Aig,
+fn run_step<F, C>(
     threads: usize,
     rps: f64,
     ramp: &RampConfig,
     cell_latency: &obs::metrics::Histogram,
-) -> StepResult {
+    track_hits: bool,
+    make_check: &F,
+) -> StepResult
+where
+    F: Fn() -> C + Sync,
+    C: FnMut() -> (bool, bool),
+{
     let window = Duration::from_millis(ramp.step_ms);
     let requests = ((rps * window.as_secs_f64()).round() as usize).max(1);
     let interval_us = 1e6 / rps;
@@ -241,6 +378,7 @@ fn run_step(
         next: AtomicUsize::new(0),
         completed: AtomicU64::new(0),
         failed: AtomicU64::new(0),
+        cache_hits: AtomicU64::new(0),
         latencies: Mutex::new(LogHistogram::default()),
     };
     let started = Instant::now();
@@ -248,6 +386,7 @@ fn run_step(
 
     std::thread::scope(|scope| {
         let worker = || {
+            let mut check = make_check();
             loop {
                 let i = state.next.fetch_add(1, Ordering::Relaxed);
                 if i >= requests {
@@ -264,7 +403,7 @@ fn run_step(
                 if scheduled > now {
                     std::thread::sleep(scheduled - now);
                 }
-                let ok = matches!(prover.prove(a, b), Ok(ref o) if o.is_equivalent());
+                let (ok, cache_hit) = check();
                 let lat_us = Instant::now()
                     .saturating_duration_since(scheduled)
                     .as_micros() as u64;
@@ -272,6 +411,9 @@ fn run_step(
                     state.completed.fetch_add(1, Ordering::Relaxed);
                 } else {
                     state.failed.fetch_add(1, Ordering::Relaxed);
+                }
+                if cache_hit {
+                    state.cache_hits.fetch_add(1, Ordering::Relaxed);
                 }
                 cell_latency.record(lat_us);
                 state
@@ -311,6 +453,7 @@ fn run_step(
         max_us: hist.max(),
         elapsed_us,
         passed,
+        cache_hits: track_hits.then(|| state.cache_hits.load(Ordering::Relaxed)),
     }
 }
 
@@ -325,6 +468,7 @@ mod tests {
             width: 4,
             threads: vec![1],
             band: None,
+            daemon: false,
         }
     }
 
@@ -366,6 +510,56 @@ mod tests {
             assert!(s.passed || i == result.steps.len() - 1);
             assert_eq!(s.completed + s.failed, s.requests);
         }
+    }
+
+    #[test]
+    fn daemon_ramp_counts_cache_hits_and_embeds_server_metrics() {
+        let metrics = Metrics::new();
+        let server = serve::Server::bind(serve::ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            metrics,
+            ..serve::ServerConfig::default()
+        })
+        .expect("bind");
+        let addr = server.local_addr().expect("addr").to_string();
+        let handle = std::thread::spawn(move || server.run().expect("serve"));
+
+        let ramp = RampConfig {
+            initial_rps: 10.0,
+            increment_rps: 0.0, // one step
+            max_rps: 10.0,
+            step_ms: 300,
+            max_failure_rate: 0.0,
+            p95_latency_ms: 10_000.0,
+        };
+        let result = run_scenario_daemon(&tiny_scenario(), 2, &ramp, &addr, &mut |_| ())
+            .expect("daemon ramp");
+        assert_eq!(result.daemon.as_deref(), Some(addr.as_str()));
+        assert_eq!(result.steps.len(), 1);
+        let step = &result.steps[0];
+        assert_eq!(step.completed, step.requests, "all replies equivalent");
+        // The pair repeats, so everything after the daemon's first miss
+        // is served (replay-validated) from the certificate cache.
+        let hits = step.cache_hits.expect("daemon cells track hits");
+        assert!(hits >= step.requests - 1, "{hits}/{}", step.requests);
+        // Step-boundary snapshots come from the *daemon's* registry.
+        let snap = result.metrics.last().expect("server snapshot");
+        let counter = |name: &str| {
+            snap.get("counters")
+                .and_then(|c| c.get(name))
+                .and_then(Value::as_u64)
+                .unwrap_or(0)
+        };
+        assert_eq!(counter("cec.cache.hits"), hits);
+        assert!(counter("serve.checks") >= step.requests);
+        // The JSON cell carries the new columns.
+        let json = step.to_json();
+        assert_eq!(json.get("cache_hits").and_then(Value::as_u64), Some(hits));
+        assert!(json.get("cache_hit_rate").is_some());
+
+        let mut client = serve::Client::connect(&addr).expect("connect");
+        client.shutdown().expect("shutdown");
+        handle.join().expect("server thread");
     }
 
     #[test]

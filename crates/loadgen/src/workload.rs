@@ -22,7 +22,14 @@
 //! width = 16
 //! threads = [1, 4]
 //! band = "easy"
+//! daemon = false
 //! ```
+//!
+//! A scenario with `daemon = true` is driven over the network against
+//! a running `rcecd` service instead of in-process (see
+//! [`crate::ramp::run_scenario_daemon`]): each serving thread holds one
+//! TCP connection, latencies include the socket round trip, and the
+//! step results carry a cache-hit-rate column.
 //!
 //! The TOML subset covers exactly what workload files need: top-level
 //! `key = value` pairs, `[table]` headers, `[[array-of-tables]]`
@@ -79,6 +86,10 @@ pub struct Scenario {
     /// Optional hardness-band annotation (carried into `bench-v2`,
     /// not interpreted by the driver).
     pub band: Option<String>,
+    /// Drive this scenario through a `rcecd` daemon over TCP instead
+    /// of in-process, measuring network round-trip latency and
+    /// certificate-cache hit rate.
+    pub daemon: bool,
 }
 
 /// A parsed workload description.
@@ -188,12 +199,14 @@ impl Workload {
                 threads = vec![1];
             }
             let band = s.get("band").and_then(Value::as_str).map(str::to_string);
+            let daemon = s.get("daemon").and_then(Value::as_bool).unwrap_or(false);
             scenarios.push(Scenario {
                 name,
                 family,
                 width,
                 threads,
                 band,
+                daemon,
             });
         }
         Ok(Workload {
@@ -235,6 +248,9 @@ impl Workload {
                 ];
                 if let Some(band) = &s.band {
                     members.push(("band".into(), Value::str(band)));
+                }
+                if s.daemon {
+                    members.push(("daemon".into(), Value::Bool(true)));
                 }
                 Value::Object(members)
             })
@@ -490,6 +506,19 @@ mod tests {
         assert!(err.contains("initial_rps"), "{err}");
         let err = Workload::parse("name = \"x\"\n").unwrap_err();
         assert!(err.contains("no [[scenario]]"), "{err}");
+    }
+
+    #[test]
+    fn daemon_scenarios_round_trip() {
+        let w = Workload::parse(
+            "[[scenario]]\nfamily = \"adder\"\nwidth = 6\ndaemon = true\n\
+             [[scenario]]\nfamily = \"parity\"\nwidth = 8\n",
+        )
+        .unwrap();
+        assert!(w.scenarios[0].daemon);
+        assert!(!w.scenarios[1].daemon);
+        let again = Workload::from_json(&w.to_json()).unwrap();
+        assert_eq!(again, w);
     }
 
     #[test]

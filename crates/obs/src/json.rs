@@ -54,6 +54,14 @@ impl Value {
         }
     }
 
+    /// The value as `bool` if it is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Value::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
     /// The value as `u64` if it is a non-negative integer.
     pub fn as_u64(&self) -> Option<u64> {
         match *self {

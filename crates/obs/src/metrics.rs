@@ -405,6 +405,48 @@ struct SamplerShared {
     wake: Condvar,
 }
 
+/// How a [`Sampler`] renders each tick.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum SampleFormat {
+    /// One `metrics-v1` JSON object per line — the machine-readable
+    /// time series.
+    #[default]
+    Jsonl,
+    /// One compact `key=value` status line per line — human-readable
+    /// under `tail -f` while the process runs. Counters and gauges
+    /// only (histograms don't fit on a line); same name order as the
+    /// JSON snapshot.
+    Status,
+}
+
+/// Renders a snapshot (as produced by [`Metrics::snapshot`]) as one
+/// `key=value` status line: `seq` and `ts_us` first, then every counter
+/// and gauge in name order.
+pub fn status_line(snapshot: &Value) -> String {
+    let mut out = String::new();
+    let mut push = |k: &str, v: &Value| {
+        if !out.is_empty() {
+            out.push(' ');
+        }
+        out.push_str(k);
+        out.push('=');
+        out.push_str(&v.to_string());
+    };
+    for k in ["seq", "ts_us", "rss_bytes"] {
+        if let Some(v) = snapshot.get(k) {
+            push(k, v);
+        }
+    }
+    for section in ["counters", "gauges"] {
+        if let Some(members) = snapshot.get(section).and_then(Value::as_object) {
+            for (name, v) in members {
+                push(name, v);
+            }
+        }
+    }
+    out
+}
+
 /// A background thread emitting one `metrics-v1` snapshot line per
 /// period. Created by [`Sampler::start`]; joined (never leaked) by
 /// [`Sampler::stop`] or on drop.
@@ -418,7 +460,19 @@ impl Sampler {
     /// snapshot of `metrics` to `out` as one JSON line. A final snapshot
     /// is written when the sampler is stopped, so even runs shorter than
     /// one period produce at least one record.
-    pub fn start(metrics: Metrics, period: Duration, mut out: impl Write + Send + 'static) -> Self {
+    pub fn start(metrics: Metrics, period: Duration, out: impl Write + Send + 'static) -> Self {
+        Sampler::start_with(metrics, period, out, SampleFormat::Jsonl)
+    }
+
+    /// [`Sampler::start`] with an explicit per-tick rendering; see
+    /// [`SampleFormat`]. `Status` gives a `tail -f`-able line stream
+    /// alongside (or instead of) the JSONL file.
+    pub fn start_with(
+        metrics: Metrics,
+        period: Duration,
+        mut out: impl Write + Send + 'static,
+        format: SampleFormat,
+    ) -> Self {
         let shared = Arc::new(SamplerShared {
             stop: Mutex::new(false),
             wake: Condvar::new(),
@@ -428,7 +482,13 @@ impl Sampler {
             let mut seq = 0u64;
             let write_one = |seq: u64, out: &mut dyn Write| -> io::Result<()> {
                 if let Some(snap) = metrics.snapshot(seq) {
-                    writeln!(out, "{snap}")?;
+                    match format {
+                        SampleFormat::Jsonl => writeln!(out, "{snap}")?,
+                        SampleFormat::Status => {
+                            writeln!(out, "{}", status_line(&snap))?;
+                            out.flush()?;
+                        }
+                    }
                 }
                 Ok(())
             };
@@ -566,6 +626,53 @@ mod tests {
                 .and_then(Value::as_u64),
             Some(1)
         );
+    }
+
+    #[test]
+    fn status_line_is_one_compact_line() {
+        let (m, clock) = Metrics::with_fake_clock();
+        m.counter("cec.cache.hits").add(4);
+        m.counter("cec.checks_completed").add(9);
+        m.gauge("cec.queue.depth").set(-1);
+        m.histogram("lat").record(5);
+        clock.advance_us(42);
+        let line = status_line(&m.snapshot(3).unwrap());
+        assert!(!line.contains('\n'));
+        assert!(line.starts_with("seq=3 ts_us=42"), "line: {line}");
+        assert!(line.contains("cec.cache.hits=4"), "line: {line}");
+        assert!(line.contains("cec.checks_completed=9"), "line: {line}");
+        assert!(line.contains("cec.queue.depth=-1"), "line: {line}");
+        assert!(!line.contains("lat"), "histograms stay off the line");
+    }
+
+    #[test]
+    fn status_sampler_appends_parseable_lines() {
+        struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+        impl Write for SharedBuf {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let m = Metrics::new();
+        m.counter("x").inc();
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        let sampler = Sampler::start_with(
+            m.clone(),
+            Duration::from_millis(5),
+            SharedBuf(Arc::clone(&buf)),
+            SampleFormat::Status,
+        );
+        std::thread::sleep(Duration::from_millis(30));
+        let lines = sampler.stop().unwrap();
+        assert!(lines >= 1, "at least the final snapshot");
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        for line in text.lines() {
+            assert!(line.contains("x=1"), "every tick reports x: {line}");
+        }
     }
 
     #[cfg(target_os = "linux")]

@@ -149,6 +149,14 @@ impl ClauseDb {
         self.clauses.len() - self.num_deleted
     }
 
+    /// Total arena length including deleted slots. Clause references are
+    /// indices below this bound, in insertion order — the basis of
+    /// cursor-style scans such as [`crate::Solver::drain_new_learnts`].
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.clauses.len()
+    }
+
     /// Iterates over all live clauses in insertion order, as
     /// `(literals, proof id)`. The literal order within a clause is the
     /// current watch order, not sorted.

@@ -1,0 +1,33 @@
+//! CEC as a service: the library behind the `rcecd` daemon.
+//!
+//! A combinational equivalence check is a pure function of its two
+//! input netlists, which makes it an ideal candidate for a persistent
+//! service: a long-lived process that keeps an engine context warm,
+//! answers queries over a socket, and remembers what it has already
+//! proven. This crate provides the three layers:
+//!
+//! - [`protocol`]: JSON Lines over TCP — `check` / `batch` / `ping` /
+//!   `metrics` / `shutdown` requests, AIGER text in, verdict +
+//!   TraceCheck certificate + `cache_hit` flag out.
+//! - [`Server`]: a threaded acceptor over a fixed worker pool. Each
+//!   worker runs [`cec::Session`]s over one process-wide
+//!   [`cec::SharedContext`], so every check reports into the same
+//!   metrics registry, and consults one shared [`cache::CertCache`].
+//! - [`Client`]: the blocking counterpart used by `rcec query`, the
+//!   load generator's daemon mode, and CI.
+//!
+//! The service inherits the cache's replay-before-serve invariant: a
+//! `cache_hit: true` reply was re-validated against the query before it
+//! was written to the socket, and because the engine proves the
+//! *canonical* form of every pair, a hit's certificate is byte-identical
+//! to what a fresh prove of the same query would return.
+
+#![warn(missing_docs)]
+
+mod client;
+pub mod protocol;
+mod server;
+
+pub use client::Client;
+pub use protocol::{CheckReply, Request};
+pub use server::{Server, ServerConfig};

@@ -1,0 +1,155 @@
+//! End-to-end service tests: a real listener on a loopback port, real
+//! client connections, repeated batches, and a cache-poisoning attack.
+
+use aig::gen::{kogge_stone_adder, mutate, ripple_carry_adder};
+use obs::json::Value;
+use obs::metrics::Metrics;
+use serve::{Client, Server, ServerConfig};
+
+fn start(config: ServerConfig) -> (String, std::thread::JoinHandle<()>) {
+    let server = Server::bind(config).expect("bind");
+    let addr = server.local_addr().expect("addr").to_string();
+    let handle = std::thread::spawn(move || server.run().expect("serve"));
+    (addr, handle)
+}
+
+fn loopback_config(metrics: &Metrics) -> ServerConfig {
+    ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        metrics: metrics.clone(),
+        ..ServerConfig::default()
+    }
+}
+
+#[test]
+fn repeated_batch_hits_cache_with_byte_identical_certificates() {
+    let metrics = Metrics::new();
+    let (addr, handle) = start(loopback_config(&metrics));
+    let mut client = Client::connect(&addr).expect("connect");
+    client.ping().expect("ping");
+
+    let a1 = ripple_carry_adder(5);
+    let b1 = kogge_stone_adder(5);
+    let a2 = ripple_carry_adder(4);
+    let b2 = (0..40)
+        .filter_map(|s| mutate(&a2, s))
+        .find(|m| aig::sim::exhaustive_diff(&a2, m, 9).is_some())
+        .expect("differing mutant");
+    let pairs = [(&a1, &b1), (&a2, &b2)];
+
+    let first = client.check_batch(&pairs).expect("first batch");
+    let first: Vec<_> = first.into_iter().map(|r| r.expect("check ok")).collect();
+    assert!(first[0].equivalent && first[0].certificate.is_some());
+    assert!(!first[1].equivalent && first[1].pattern.is_some());
+    assert!(first.iter().all(|r| !r.cache_hit), "cold cache");
+
+    // Second pass: same pairs under fresh node numberings — every slot
+    // must hit, and the equivalent slot's certificate must be the very
+    // bytes the first pass produced.
+    let a1p = a1.permute_rebuild(11);
+    let b1p = b1.permute_rebuild(12);
+    let a2p = a2.permute_rebuild(13);
+    let b2p = b2.permute_rebuild(14);
+    let second = client
+        .check_batch(&[(&a1p, &b1p), (&a2p, &b2p)])
+        .expect("second batch");
+    let second: Vec<_> = second.into_iter().map(|r| r.expect("check ok")).collect();
+    assert!(second.iter().all(|r| r.cache_hit), "warm cache hits");
+    assert_eq!(second[0].certificate, first[0].certificate);
+    assert_eq!(second[1].pattern, first[1].pattern);
+
+    let snap = client.metrics().expect("metrics");
+    let counter = |name: &str| {
+        snap.get("counters")
+            .and_then(|c| c.get(name))
+            .and_then(Value::as_u64)
+            .unwrap_or(0)
+    };
+    assert_eq!(counter("cec.cache.hits"), 2);
+    assert_eq!(counter("cec.cache.misses"), 2);
+    assert!(counter("serve.checks") >= 4);
+
+    client.shutdown().expect("shutdown");
+    handle.join().expect("server thread");
+}
+
+#[test]
+fn malformed_and_mismatched_queries_do_not_poison_the_connection() {
+    let metrics = Metrics::disabled();
+    let (addr, handle) = start(loopback_config(&metrics));
+    let mut client = Client::connect(&addr).expect("connect");
+
+    // A garbage circuit fails that check only.
+    use std::io::{BufRead, BufReader, Write};
+    let stream = std::net::TcpStream::connect(&addr).expect("raw connect");
+    let mut w = stream.try_clone().expect("clone");
+    let mut r = BufReader::new(stream);
+    writeln!(w, "this is not json").unwrap();
+    let mut line = String::new();
+    r.read_line(&mut line).unwrap();
+    assert!(line.contains("error"), "error reply: {line}");
+    line.clear();
+    writeln!(w, r#"{{"op":"check","a":"garbage","b":"garbage"}}"#).unwrap();
+    r.read_line(&mut line).unwrap();
+    assert!(line.contains("error"), "error reply: {line}");
+
+    // The same connection still answers a well-formed query.
+    let g = ripple_carry_adder(3);
+    let reply = client.check(&g, &g).expect("self-check");
+    assert!(reply.equivalent);
+
+    client.shutdown().expect("shutdown");
+    handle.join().expect("server thread");
+}
+
+#[test]
+fn poisoned_spill_entry_is_reproved_not_served() {
+    let dir = std::env::temp_dir().join(format!("rcecd-poison-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let metrics = Metrics::new();
+    let mut config = loopback_config(&metrics);
+    // Capacity 1 with a spill dir: the second insert evicts the first
+    // verdict to disk, where we can corrupt it.
+    config.cache.capacity = 1;
+    config.cache.spill_dir = Some(dir.clone());
+    let (addr, handle) = start(config);
+    let mut client = Client::connect(&addr).expect("connect");
+
+    let p1 = (ripple_carry_adder(4), kogge_stone_adder(4));
+    let p2 = (ripple_carry_adder(5), kogge_stone_adder(5));
+    let first = client.check(&p1.0, &p1.1).expect("prove p1");
+    client.check(&p2.0, &p2.1).expect("prove p2 (evicts p1)");
+
+    let spilled: Vec<_> = std::fs::read_dir(&dir)
+        .expect("spill dir")
+        .map(|e| e.expect("entry").path())
+        .collect();
+    assert_eq!(spilled.len(), 1, "p1's certificate on disk");
+    let mut bytes = std::fs::read(&spilled[0]).expect("read spill");
+    // Corrupt the certificate body (past the 3-byte "eq\n" header) so
+    // the fault exercises replay validation rather than format parsing.
+    let mut body = bytes.split_off(3);
+    chaos::corrupt(&mut body, chaos::FaultMode::Flip, 0xDEAD);
+    bytes.extend_from_slice(&body);
+    std::fs::write(&spilled[0], &bytes).expect("write corrupted");
+
+    // The corrupted entry must be rejected by replay and re-proved —
+    // same verdict, same bytes, but NOT served from cache.
+    let again = client.check(&p1.0, &p1.1).expect("re-check p1");
+    assert!(!again.cache_hit, "poisoned entry must not be served");
+    assert!(again.equivalent);
+    assert_eq!(again.certificate, first.certificate);
+
+    let snap = client.metrics().expect("metrics");
+    let rejects = snap
+        .get("counters")
+        .and_then(|c| c.get("cec.cache.replay_rejects"))
+        .and_then(Value::as_u64)
+        .unwrap_or(0);
+    assert_eq!(rejects, 1, "the corruption was observed and counted");
+
+    client.shutdown().expect("shutdown");
+    handle.join().expect("server thread");
+    let _ = std::fs::remove_dir_all(&dir);
+}
